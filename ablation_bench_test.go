@@ -1,0 +1,130 @@
+package sparselr
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// tournament tree shape, the COLAMD preprocessing policy, the power
+// parameter of the randomized sketch, the stable-L computation, and the
+// plain vs aggressive thresholding variants. Each pair/family isolates
+// one knob on a fixed workload so the -benchmem deltas speak directly to
+// the paper's trade-off discussions.
+
+import (
+	"testing"
+
+	"sparselr/internal/gen"
+	"sparselr/internal/lucrtp"
+	"sparselr/internal/qrtp"
+	"sparselr/internal/randqb"
+	"sparselr/internal/sparse"
+)
+
+func ablationMatrix() *sparse.CSR {
+	return gen.ShapeSpectrum(gen.FluidStencil(8, 8, 4, 2), 8, 0, 1, 12)
+}
+
+// --- QR_TP reduction-tree shape (§V: flat vs binary tree) ---
+
+func benchTree(b *testing.B, tree qrtp.Tree) {
+	a := gen.Circuit(1200, 6, 4).ToCSC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qrtp.SelectColumns(a, 32, tree)
+	}
+}
+
+func BenchmarkAblationTreeBinary(b *testing.B) { benchTree(b, qrtp.Binary) }
+func BenchmarkAblationTreeFlat(b *testing.B)   { benchTree(b, qrtp.Flat) }
+
+// --- COLAMD preprocessing policy (Fig 1 left ablation lines) ---
+
+func benchReorder(b *testing.B, mode lucrtp.ReorderMode) {
+	a := ablationMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := lucrtp.Factor(a, lucrtp.Options{BlockSize: 8, Tol: 1e-2, Reorder: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.NNZFactors()), "nnzFactors")
+	}
+}
+
+func BenchmarkAblationReorderOff(b *testing.B)   { benchReorder(b, lucrtp.ReorderOff) }
+func BenchmarkAblationReorderFirst(b *testing.B) { benchReorder(b, lucrtp.ReorderFirst) }
+func BenchmarkAblationReorderEvery(b *testing.B) { benchReorder(b, lucrtp.ReorderEvery) }
+
+// --- RandQB_EI power parameter (§IV: cost ∝ p+1; §VI-B: p=1 sweet spot) ---
+
+func benchPower(b *testing.B, p int) {
+	a := ablationMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := randqb.Factor(a, randqb.Options{BlockSize: 8, Tol: 1e-2, Power: p, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Iters), "iters")
+	}
+}
+
+func BenchmarkAblationPowerP0(b *testing.B) { benchPower(b, 0) }
+func BenchmarkAblationPowerP1(b *testing.B) { benchPower(b, 1) }
+func BenchmarkAblationPowerP2(b *testing.B) { benchPower(b, 2) }
+func BenchmarkAblationPowerP3(b *testing.B) { benchPower(b, 3) }
+
+// --- Stable-L computation (§II-B3: stability vs extra fill) ---
+
+func benchStableL(b *testing.B, stable bool) {
+	a := ablationMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := lucrtp.Factor(a, lucrtp.Options{BlockSize: 8, Tol: 1e-2, StableL: stable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.NNZFactors()), "nnzFactors")
+	}
+}
+
+func BenchmarkAblationPlainL(b *testing.B)  { benchStableL(b, false) }
+func BenchmarkAblationStableL(b *testing.B) { benchStableL(b, true) }
+
+// --- Thresholding variants (§VI-A: plain μ-drop vs aggressive sorted drop) ---
+
+func benchThreshold(b *testing.B, mode lucrtp.ThresholdMode) {
+	a := ablationMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := lucrtp.Factor(a, lucrtp.Options{
+			BlockSize: 8, Tol: 1e-2, Threshold: mode, EstIters: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.NNZFactors()), "nnzFactors")
+		b.ReportMetric(float64(r.DroppedNNZ), "dropped")
+	}
+}
+
+func BenchmarkAblationThresholdNone(b *testing.B) { benchThreshold(b, lucrtp.NoThreshold) }
+func BenchmarkAblationThresholdAuto(b *testing.B) { benchThreshold(b, lucrtp.AutoThreshold) }
+func BenchmarkAblationThresholdAggressive(b *testing.B) {
+	benchThreshold(b, lucrtp.AggressiveThreshold)
+}
+
+// --- Column discarding (related work [2]: Cayrols' enhancement) ---
+
+func benchDiscard(b *testing.B, discardTol float64) {
+	// A matrix with a long tail of negligible columns benefits most.
+	a := gen.RandLowRank(300, 300, 40, 0.7, 5, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := lucrtp.Factor(a, lucrtp.Options{BlockSize: 16, Tol: 1e-2, DiscardTol: discardTol})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.DiscardedCols), "discarded")
+	}
+}
+
+func BenchmarkAblationDiscardOff(b *testing.B) { benchDiscard(b, 0) }
+func BenchmarkAblationDiscardOn(b *testing.B)  { benchDiscard(b, 1) }

@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic workloads: Table I (matrix inventory), Table II (accuracy vs
+// cost), Fig 1 (thresholding effectiveness and fill-in progression),
+// Figs 2–3 (runtime vs quality with minimum-rank references), Fig 4
+// (strong scaling) and Figs 5–6 (kernel breakdowns).
+//
+// Examples:
+//
+//	experiments -run all -scale small
+//	experiments -run table2 -scale medium -matrices M2,M5
+//	experiments -run fig1left -suite 197
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sparselr/internal/experiments"
+	"sparselr/internal/gen"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "table1|table2|fig1left|fig1right|fig2|fig3|fig4|fig5|fig6|all")
+		scale    = flag.String("scale", "small", "small|medium|large")
+		matrices = flag.String("matrices", "", "comma-separated Table I labels (empty = all)")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		maxProcs = flag.Int("maxprocs", 0, "cap on the virtual-rank sweeps (0 = scale default)")
+		suite    = flag.Int("suite", 0, "SJSU suite size for fig1left (0 = scale default)")
+		sweep    = flag.Bool("sweep", false, "Table II: grid-search (np, k) per matrix like the paper")
+		fig1tol  = flag.Float64("fig1tol", 1e-6, "fig1left tolerance (paper sweeps 1e-3, 1e-6, 1e-9)")
+	)
+	flag.Parse()
+
+	var sc gen.Scale
+	switch *scale {
+	case "small":
+		sc = gen.Small
+	case "medium":
+		sc = gen.Medium
+	case "large":
+		sc = gen.Large
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	cfg := experiments.Config{
+		Scale: sc, Out: os.Stdout, Seed: *seed,
+		MaxProcs: *maxProcs, SuiteSize: *suite, SweepBest: *sweep,
+	}
+	if *matrices != "" {
+		cfg.Matrices = strings.Split(*matrices, ",")
+	}
+
+	runners := map[string]func(){
+		"table1":   func() { experiments.RunTable1(cfg) },
+		"table2":   func() { experiments.RunTable2(cfg) },
+		"fig1left": func() { experiments.RunFig1LeftAt(cfg, *fig1tol) },
+		"fig1right": func() {
+			experiments.RunFig1Right(cfg)
+		},
+		"fig2": func() { experiments.RunFig2(cfg) },
+		"fig3": func() { experiments.RunFig3(cfg) },
+		"fig4": func() { experiments.RunFig4(cfg) },
+		"fig5": func() { experiments.RunFig5(cfg) },
+		"fig6": func() { experiments.RunFig6(cfg) },
+	}
+	order := []string{"table1", "table2", "fig1left", "fig1right", "fig2", "fig3", "fig4", "fig5", "fig6"}
+
+	selected := []string{*run}
+	if *run == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		r, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fmt.Printf("==== %s (scale=%s) ====\n", name, *scale)
+		r()
+		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start))
+	}
+}

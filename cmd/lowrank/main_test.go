@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sparselr/internal/gen"
+)
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]gen.Scale{
+		"small": gen.Small, "medium": gen.Medium, "large": gen.Large,
+	} {
+		got, err := parseScale(in)
+		if err != nil || got != want {
+			t.Fatalf("parseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScale("huge"); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestLoadMatrixGenerated(t *testing.T) {
+	a, name, err := loadMatrix("M3", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() == 0 || name == "" {
+		t.Fatal("degenerate generated matrix")
+	}
+	if _, _, err := loadMatrix("M9", "small"); err == nil {
+		t.Fatal("expected error for unknown label")
+	}
+	if _, _, err := loadMatrix("M1", "bogus"); err == nil {
+		t.Fatal("expected error for bad scale")
+	}
+}
+
+func TestLoadMatrixFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	orig := gen.Circuit(20, 3, 1)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.WriteMatrixMarket(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	a, _, err := loadMatrix(path, "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(orig, 0) {
+		t.Fatal("file load changed the matrix")
+	}
+	if _, _, err := loadMatrix(filepath.Join(dir, "missing.mtx"), "small"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

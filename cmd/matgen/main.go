@@ -1,0 +1,87 @@
+// Command matgen writes the synthetic workloads to MatrixMarket files so
+// they can be inspected or consumed by external tools: the six Table I
+// analogs and, optionally, the SJSU-style singular-matrix suite.
+//
+// Examples:
+//
+//	matgen -out data -scale medium
+//	matgen -out data -suite 48
+//	matgen -out data -matrices M2,M5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sparselr/internal/gen"
+	"sparselr/internal/sparse"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "data", "output directory")
+		scale    = flag.String("scale", "small", "small|medium|large")
+		matrices = flag.String("matrices", "", "comma-separated Table I labels (empty = all)")
+		suite    = flag.Int("suite", 0, "also write this many SJSU-suite matrices")
+		seed     = flag.Int64("seed", 1, "PRNG seed for the suite")
+	)
+	flag.Parse()
+
+	var sc gen.Scale
+	switch *scale {
+	case "small":
+		sc = gen.Small
+	case "medium":
+		sc = gen.Medium
+	case "large":
+		sc = gen.Large
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	if *matrices != "" {
+		for _, l := range strings.Split(*matrices, ",") {
+			want[l] = true
+		}
+	}
+	for _, m := range gen.TableI(sc) {
+		if len(want) > 0 && !want[m.Label] {
+			continue
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%s_%s_%s.mtx", m.Label, m.Name, *scale))
+		if err := writeMatrix(path, m.A); err != nil {
+			fatal(err)
+		}
+		r, c := m.A.Dims()
+		fmt.Printf("wrote %s (%d×%d, nnz=%d)\n", path, r, c, m.A.NNZ())
+	}
+	if *suite > 0 {
+		for _, sm := range gen.SJSUSuite(*suite, *seed) {
+			path := filepath.Join(*out, sm.Name+".mtx")
+			if err := writeMatrix(path, sm.A); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d suite matrices to %s\n", *suite, *out)
+	}
+}
+
+func writeMatrix(path string, a *sparse.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.WriteMatrixMarket(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "matgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+// Package sparselr reproduces "Accuracy vs. Cost in Parallel
+// Fixed-Precision Low-Rank Approximations of Sparse Matrices"
+// (Ernstbrunner, Mayer, Gansterer; IPDPS 2022) as a self-contained,
+// stdlib-only Go library.
+//
+// The fixed-precision low-rank approximation problem asks for the
+// smallest rank K with ‖A − Â_K‖_F < τ‖A‖_F for a user tolerance τ. The
+// library implements every method the paper studies — the randomized
+// RandQB_EI (Alg 1) and RandUBV, the deterministic LU_CRTP (Alg 2) and
+// its thresholded variant ILUT_CRTP (Alg 3), plus the TSVD baseline —
+// together with every substrate they need: sparse/dense kernels, a
+// COLAMD-style fill-reducing ordering, tournament-pivoted rank-revealing
+// QR, and an MPI-like SPMD runtime with a virtual-clock performance
+// model for the parallel experiments.
+//
+// Entry points:
+//
+//   - internal/core:        uniform Approximate() driver over all methods
+//   - cmd/lowrank:          CLI for one factorization
+//   - cmd/experiments:      regenerates every table and figure
+//   - cmd/matgen:           writes the synthetic workloads as MatrixMarket
+//   - examples/:            quickstart, circuit, fillin, scaling
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for measured-vs-paper results.
+package sparselr

@@ -1,0 +1,57 @@
+// Circuit: the paper's dominant workload class (three of its six test
+// matrices are circuit simulations). This example builds a circuit-style
+// matrix — dominant diagonal, power-law hub structure, conductances
+// spanning decades — and walks the accuracy-vs-cost trade-off of Table II
+// across tolerances, comparing the deterministic and randomized methods
+// on modeled parallel runtime.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparselr/internal/core"
+	"sparselr/internal/gen"
+)
+
+func main() {
+	// A rajat23-like circuit matrix: a dominant head subspace (a few
+	// high-conductance nets carry most of the energy) over a long flat
+	// tail.
+	a := gen.ShapeSpectrum(gen.Circuit(600, 5, 4), 7, 12, 1e3, 14)
+	r, c := a.Dims()
+	fmt.Printf("circuit matrix: %d×%d, nnz=%d\n\n", r, c, a.NNZ())
+
+	const k = 16
+	const np = 8
+	fmt.Printf("block size k=%d, %d virtual ranks\n\n", k, np)
+	fmt.Printf("%8s | %-10s %6s %12s %14s %10s\n",
+		"tau", "method", "rank", "modeled(s)", "true err/τ‖A‖", "nnz(fac)")
+
+	for _, tol := range []float64{1e-1, 1e-2, 1e-3} {
+		for _, m := range []core.Method{core.RandQBEI, core.LUCRTP, core.ILUTCRTP} {
+			ap, err := core.Approximate(a, core.Options{
+				Method: m, BlockSize: k, Tol: tol, Power: 1, Seed: 3, Procs: np,
+			})
+			if err != nil {
+				log.Printf("%8.0e | %-10s breakdown: %v", tol, m, err)
+				continue
+			}
+			status := ""
+			if !ap.Converged {
+				status = " (no convergence)"
+			}
+			fmt.Printf("%8.0e | %-10s %6d %12.4g %14.3f %10d%s\n",
+				tol, ap.Method, ap.Rank, ap.VirtualTime,
+				ap.TrueError(a)/(tol*ap.NormA), ap.NNZFactors, status)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading the table (cf. Table II of the paper):")
+	fmt.Println("  * At τ=1e-1 the head subspace converges in one or two blocks — the")
+	fmt.Println("    deterministic methods are competitive or faster.")
+	fmt.Println("  * As τ tightens, Schur-complement fill-in raises LU_CRTP's cost;")
+	fmt.Println("    ILUT_CRTP recovers most of that by thresholding (eq 24).")
+	fmt.Println("  * The sparse LU factors stay far smaller than the dense QB factors.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: build a sparse matrix, run every fixed-precision method at
+// the same tolerance and compare rank, iterations, error and factor
+// nonzeros — the library's one-screen tour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparselr/internal/core"
+	"sparselr/internal/gen"
+)
+
+func main() {
+	// A 300×300 sparse matrix with geometrically decaying spectrum
+	// (rank-60 plus numerical noise floor).
+	a := gen.RandLowRank(300, 300, 60, 0.85, 6, 42)
+	r, c := a.Dims()
+	fmt.Printf("input: %d×%d sparse matrix, nnz=%d (density %.3f)\n\n", r, c, a.NNZ(), a.Density())
+
+	const tol = 1e-3
+	fmt.Printf("fixed-precision target: ‖A − Â_K‖_F < %.0e·‖A‖_F\n\n", tol)
+	fmt.Printf("%-10s %6s %6s %12s %12s %10s %12s\n",
+		"method", "rank", "iters", "indicator", "true error", "nnz(fac)", "wall time")
+
+	for _, m := range []core.Method{core.RandQBEI, core.RandUBV, core.LUCRTP, core.ILUTCRTP, core.TSVD} {
+		ap, err := core.Approximate(a, core.Options{
+			Method:    m,
+			BlockSize: 16,
+			Tol:       tol,
+			Power:     1, // RandQB_EI power scheme
+			Seed:      7,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", m, err)
+		}
+		fmt.Printf("%-10s %6d %6d %12.4g %12.4g %10d %12v\n",
+			ap.Method, ap.Rank, ap.Iters, ap.ErrIndicator, ap.TrueError(a), ap.NNZFactors, ap.WallTime)
+	}
+
+	fmt.Println("\nNotes:")
+	fmt.Println("  * TSVD gives the Eckart–Young-optimal rank — the lower bound for everyone else.")
+	fmt.Println("  * LU_CRTP/ILUT_CRTP factors are sparse; RandQB_EI/RandUBV factors are dense.")
+	fmt.Println("  * ILUT_CRTP drops small Schur-complement entries (threshold from eq 24 of the paper),")
+	fmt.Println("    trading a bounded perturbation for less fill-in.")
+}

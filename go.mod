@@ -1,0 +1,3 @@
+module sparselr
+
+go 1.22

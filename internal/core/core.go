@@ -1,0 +1,419 @@
+// Package core is the public entry point of the library: a uniform
+// fixed-precision low-rank approximation driver over every method the
+// paper studies — RandQB_EI, RandUBV, LU_CRTP, ILUT_CRTP and the TSVD
+// baseline — with the shared termination criterion
+//
+//	‖A − Â_K‖_F < τ·‖A‖_F
+//
+// evaluated through each method's native error indicator (§II), plus
+// uniform telemetry (iterations, rank, factor nonzeros, error history,
+// wall time, and — for distributed runs — modeled parallel time and
+// per-kernel breakdowns).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sparselr/internal/arrf"
+	"sparselr/internal/dist"
+	"sparselr/internal/lucrtp"
+	"sparselr/internal/mat"
+	"sparselr/internal/qrtp"
+	"sparselr/internal/randqb"
+	"sparselr/internal/randubv"
+	"sparselr/internal/rsvd"
+	"sparselr/internal/sparse"
+	"sparselr/internal/tsvd"
+)
+
+// Method selects the approximation algorithm.
+type Method int
+
+const (
+	// RandQBEI is the randomized QB factorization with error indicator
+	// (Algorithm 1).
+	RandQBEI Method = iota
+	// RandUBV is the block Lanczos bidiagonalization comparator (§VI-B).
+	RandUBV
+	// LUCRTP is the deterministic truncated LU with column/row
+	// tournament pivoting (Algorithm 2).
+	LUCRTP
+	// ILUTCRTP is LU_CRTP with Schur-complement thresholding
+	// (Algorithm 3).
+	ILUTCRTP
+	// TSVD is the Eckart–Young-optimal baseline (accuracy yardstick
+	// only; its cost is excluded from the paper's runtime comparisons).
+	TSVD
+	// RSVDRestart is the restarted randomized SVD of the related work
+	// (§I-A): recompute at doubled rank until the tolerance holds.
+	RSVDRestart
+	// ARRF is Halko's Adaptive Randomized Range Finder (Alg 4.2), the
+	// vector-at-a-time fixed-precision progenitor of RandQB_EI.
+	ARRF
+)
+
+// String names the method as the paper does.
+func (m Method) String() string {
+	switch m {
+	case RandQBEI:
+		return "RandQB_EI"
+	case RandUBV:
+		return "RandUBV"
+	case LUCRTP:
+		return "LU_CRTP"
+	case ILUTCRTP:
+		return "ILUT_CRTP"
+	case TSVD:
+		return "TSVD"
+	case RSVDRestart:
+		return "RSVD"
+	case ARRF:
+		return "ARRF"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ParseMethod resolves the paper-style method names.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "RandQB_EI", "randqb", "qb":
+		return RandQBEI, nil
+	case "RandUBV", "randubv", "ubv":
+		return RandUBV, nil
+	case "LU_CRTP", "lucrtp", "lu":
+		return LUCRTP, nil
+	case "ILUT_CRTP", "ilutcrtp", "ilut":
+		return ILUTCRTP, nil
+	case "TSVD", "tsvd", "svd":
+		return TSVD, nil
+	case "RSVD", "rsvd":
+		return RSVDRestart, nil
+	case "ARRF", "arrf":
+		return ARRF, nil
+	}
+	return 0, fmt.Errorf("core: unknown method %q", s)
+}
+
+// Options configures a run. Zero values give sensible defaults
+// (BlockSize 8, sequential execution).
+type Options struct {
+	Method    Method
+	BlockSize int     // k
+	Tol       float64 // τ
+	MaxRank   int     // cap on K (0 = min(m,n))
+
+	// Randomized-method knobs.
+	Power int   // RandQB_EI power parameter p ∈ [0,3]
+	Seed  int64 // PRNG seed
+
+	// Deterministic-method knobs.
+	EstIters            int     // u of eq (24) for ILUT_CRTP (0 → 10)
+	Mu                  float64 // fixed threshold (0 → automatic via eq 24)
+	Aggressive          bool    // aggressive sorted-drop thresholding (§VI-A)
+	Reorder             lucrtp.ReorderMode
+	StableL             bool
+	DiscardTol          float64 // >0 enables Cayrols-style column discarding
+	Tree                qrtp.Tree
+	StopAtNumericalRank bool
+
+	// Procs > 1 runs the method's distributed implementation on that
+	// many virtual ranks (RandQB_EI, LU_CRTP, ILUT_CRTP, and — as this
+	// library's implementation of the paper's stated future work —
+	// RandUBV); Procs ≤ 1 runs sequentially. TSVD, RSVD and ARRF are
+	// sequential-only.
+	Procs      int
+	DistConfig *dist.Config // nil → dist.DefaultConfig()
+}
+
+// Approximation is the uniform result of a run. Exactly one of LU, QB,
+// UBV, SVD is non-nil depending on the method.
+type Approximation struct {
+	Method Method
+
+	Rank  int
+	Iters int
+	NormA float64
+
+	ErrIndicator float64
+	Converged    bool
+	ErrHistory   []float64
+
+	// NNZFactors counts the stored entries of the produced factors:
+	// nnz(L)+nnz(U) for the deterministic methods, the dense element
+	// count of the Q/B (resp. U/B/V) factors for the randomized ones.
+	NNZFactors int
+
+	WallTime time.Duration
+	// Distributed-run telemetry (Procs > 1).
+	VirtualTime float64
+	CommTime    float64
+	KernelTimes map[string]float64
+
+	LU   *lucrtp.Result
+	QB   *randqb.Result
+	UBV  *randubv.Result
+	SVD  *tsvd.Result
+	RS   *rsvd.Result
+	ARRF *arrf.Result
+}
+
+// TrueError evaluates the exact approximation error ‖·‖_F against a.
+func (ap *Approximation) TrueError(a *sparse.CSR) float64 {
+	switch {
+	case ap.LU != nil:
+		return lucrtp.TrueError(a, ap.LU)
+	case ap.QB != nil:
+		return randqb.TrueError(a, ap.QB)
+	case ap.UBV != nil:
+		return randubv.TrueError(a, ap.UBV)
+	case ap.SVD != nil:
+		diff := a.ToDense()
+		diff.Sub(ap.SVD.Approx())
+		return diff.FrobNorm()
+	case ap.RS != nil:
+		return rsvd.TrueError(a, ap.RS)
+	case ap.ARRF != nil:
+		return arrf.ResidualNorm(a, ap.ARRF)
+	}
+	return 0
+}
+
+// Reconstruct forms the dense approximation (for inspection at small
+// sizes; O(m·n) memory).
+func (ap *Approximation) Reconstruct() *mat.Dense {
+	switch {
+	case ap.LU != nil:
+		return sparse.SpGEMM(ap.LU.L, ap.LU.U).ToDense()
+	case ap.QB != nil:
+		return ap.QB.Approx()
+	case ap.UBV != nil:
+		return ap.UBV.Approx()
+	case ap.SVD != nil:
+		return ap.SVD.Approx()
+	case ap.RS != nil:
+		return ap.RS.Approx()
+	}
+	return nil
+}
+
+// FixedRank runs the method in fixed-rank mode (§I of the paper
+// distinguishes fixed-rank from fixed-precision problems): the rank k is
+// prescribed and no tolerance-based stop applies. Converged is not
+// meaningful in this mode; inspect ErrIndicator for the achieved error.
+func FixedRank(a *sparse.CSR, method Method, k int, opts Options) (*Approximation, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: fixed-rank mode needs k > 0, got %d", k)
+	}
+	opts.Method = method
+	opts.MaxRank = k
+	opts.Tol = 0
+	return Approximate(a, opts)
+}
+
+// Approximate runs the selected fixed-precision method on a.
+func Approximate(a *sparse.CSR, opts Options) (*Approximation, error) {
+	if opts.Tol <= 0 && !opts.StopAtNumericalRank && opts.MaxRank <= 0 {
+		return nil, fmt.Errorf("core: need a positive tolerance, a MaxRank cap, or StopAtNumericalRank")
+	}
+	// Procs ≥ 1 requests the distributed implementation (np = 1 still
+	// yields the modeled single-rank time, the baseline of the scaling
+	// curves); Procs = 0 runs the plain sequential code path.
+	distCapable := opts.Method == RandQBEI || opts.Method == LUCRTP || opts.Method == ILUTCRTP || opts.Method == RandUBV
+	if opts.Procs > 1 || (opts.Procs == 1 && distCapable) {
+		return approximateDist(a, opts)
+	}
+	start := time.Now()
+	ap := &Approximation{Method: opts.Method}
+	switch opts.Method {
+	case RandQBEI:
+		r, err := randqb.Factor(a, randqb.Options{
+			BlockSize: opts.BlockSize, Tol: opts.Tol, Power: opts.Power,
+			MaxRank: opts.MaxRank, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ap.QB = r
+		ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+		ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+		ap.NNZFactors = r.Q.Rows*r.Q.Cols + r.B.Rows*r.B.Cols
+	case RandUBV:
+		r, err := randubv.Factor(a, randubv.Options{
+			BlockSize: opts.BlockSize, Tol: opts.Tol, MaxRank: opts.MaxRank, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ap.UBV = r
+		ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+		ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+		ap.NNZFactors = r.U.Rows*r.U.Cols + r.B.Rows*r.B.Cols + r.V.Rows*r.V.Cols
+	case LUCRTP, ILUTCRTP:
+		lopts := lucrtp.Options{
+			BlockSize: opts.BlockSize, Tol: opts.Tol, MaxRank: opts.MaxRank,
+			EstIters: opts.EstIters, Mu: opts.Mu, Reorder: opts.Reorder,
+			Tree: opts.Tree, StableL: opts.StableL, DiscardTol: opts.DiscardTol,
+			StopAtNumericalRank: opts.StopAtNumericalRank,
+		}
+		if opts.Method == ILUTCRTP {
+			switch {
+			case opts.Aggressive:
+				lopts.Threshold = lucrtp.AggressiveThreshold
+			case opts.Mu > 0:
+				lopts.Threshold = lucrtp.FixedThreshold
+			default:
+				lopts.Threshold = lucrtp.AutoThreshold
+			}
+		}
+		r, err := lucrtp.Factor(a, lopts)
+		if err != nil {
+			return nil, err
+		}
+		ap.LU = r
+		ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+		ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+		ap.NNZFactors = r.NNZFactors()
+	case TSVD:
+		var r *tsvd.Result
+		var err error
+		if opts.Tol <= 0 && opts.MaxRank > 0 {
+			r, err = tsvd.FixedRank(a, opts.MaxRank)
+		} else {
+			r, err = tsvd.FixedPrecision(a, opts.Tol)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ap.SVD = r
+		ap.Rank, ap.NormA = r.Rank, r.NormA
+		ap.ErrIndicator = r.TailNorm
+		ap.Converged = opts.Tol > 0 && r.TailNorm < opts.Tol*r.NormA
+		ap.NNZFactors = r.U.Rows*r.U.Cols + len(r.S) + r.V.Rows*r.V.Cols
+	case RSVDRestart:
+		r, err := rsvd.Factor(a, rsvd.Options{
+			InitialRank: opts.BlockSize, Tol: opts.Tol, Power: opts.Power,
+			MaxRank: opts.MaxRank, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ap.RS = r
+		ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Restarts, r.NormA
+		ap.ErrIndicator, ap.Converged = r.ErrIndicator, r.Converged
+		ap.NNZFactors = r.U.Rows*r.U.Cols + len(r.S) + r.V.Rows*r.V.Cols
+	case ARRF:
+		r, err := arrf.Factor(a, arrf.Options{
+			Tol: opts.Tol, RelativeToFrob: true,
+			MaxRank: opts.MaxRank, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ap.ARRF = r
+		ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Probes, r.NormA
+		ap.ErrIndicator, ap.Converged = r.ErrBound, r.Converged
+		ap.NNZFactors = r.Q.Rows * r.Q.Cols
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+	}
+	ap.WallTime = time.Since(start)
+	return ap, nil
+}
+
+// approximateDist runs the method's distributed implementation on
+// opts.Procs virtual ranks and fills the modeled-time telemetry.
+func approximateDist(a *sparse.CSR, opts Options) (*Approximation, error) {
+	cfg := dist.DefaultConfig()
+	if opts.DistConfig != nil {
+		cfg = *opts.DistConfig
+	}
+	ap := &Approximation{Method: opts.Method}
+	start := time.Now()
+	var innerErr error
+	var res *dist.Result
+	switch opts.Method {
+	case RandQBEI:
+		res = dist.Run(opts.Procs, cfg, func(c *dist.Comm) {
+			r, err := randqb.FactorDist(c, a, randqb.Options{
+				BlockSize: opts.BlockSize, Tol: opts.Tol, Power: opts.Power,
+				MaxRank: opts.MaxRank, Seed: opts.Seed,
+			})
+			if c.Rank() == 0 {
+				innerErr = err
+				if err == nil {
+					ap.QB = r
+					ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+					ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+					ap.NNZFactors = r.Q.Rows*r.Q.Cols + r.B.Rows*r.B.Cols
+				}
+			}
+		})
+	case LUCRTP, ILUTCRTP:
+		lopts := lucrtp.Options{
+			BlockSize: opts.BlockSize, Tol: opts.Tol, MaxRank: opts.MaxRank,
+			EstIters: opts.EstIters, Mu: opts.Mu, Reorder: opts.Reorder,
+			Tree: opts.Tree, StableL: opts.StableL, DiscardTol: opts.DiscardTol,
+			StopAtNumericalRank: opts.StopAtNumericalRank,
+		}
+		if opts.Method == ILUTCRTP {
+			switch {
+			case opts.Aggressive:
+				lopts.Threshold = lucrtp.AggressiveThreshold
+			case opts.Mu > 0:
+				lopts.Threshold = lucrtp.FixedThreshold
+			default:
+				lopts.Threshold = lucrtp.AutoThreshold
+			}
+		}
+		res = dist.Run(opts.Procs, cfg, func(c *dist.Comm) {
+			r, err := lucrtp.FactorDist(c, a, lopts)
+			if c.Rank() == 0 {
+				innerErr = err
+				if err == nil {
+					ap.LU = r
+					ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+					ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+					ap.NNZFactors = r.NNZFactors()
+				}
+			}
+		})
+	case RandUBV:
+		res = dist.Run(opts.Procs, cfg, func(c *dist.Comm) {
+			r, err := randubv.FactorDist(c, a, randubv.Options{
+				BlockSize: opts.BlockSize, Tol: opts.Tol,
+				MaxRank: opts.MaxRank, Seed: opts.Seed,
+			})
+			if c.Rank() == 0 {
+				innerErr = err
+				if err == nil {
+					ap.UBV = r
+					ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+					ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+					ap.NNZFactors = r.U.Rows*r.U.Cols + r.B.Rows*r.B.Cols + r.V.Rows*r.V.Cols
+				}
+			}
+		})
+	case TSVD, RSVDRestart, ARRF:
+		return nil, fmt.Errorf("core: %v has no distributed implementation; use Procs ≤ 1", opts.Method)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+	}
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	ap.WallTime = time.Since(start)
+	ap.VirtualTime = res.MaxTime()
+	ap.KernelTimes = map[string]float64{}
+	for _, name := range res.KernelNames() {
+		ap.KernelTimes[name] = res.MaxKernel(name)
+	}
+	var comm float64
+	for _, s := range res.Ranks {
+		if s.CommTime > comm {
+			comm = s.CommTime
+		}
+	}
+	ap.CommTime = comm
+	return ap, nil
+}

@@ -1,0 +1,199 @@
+package dist
+
+// Collective operations built from point-to-point messages with binomial
+// trees, mirroring how a classic MPI implementation structures them. Tags
+// are drawn from a reserved high range so user tags below 1<<20 never
+// collide.
+
+const (
+	tagBarrier = 1<<20 + iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagAllgather
+	tagScatter
+)
+
+// Barrier synchronizes all ranks: no rank leaves before every rank has
+// entered. Clocks converge to at least the maximum entry time plus the
+// tree traversal cost.
+func (c *Comm) Barrier() {
+	// Reduce an empty payload to rank 0, then broadcast it back.
+	c.reduceTree(0, tagBarrier, nil, 0, nil)
+	c.bcastTree(0, tagBarrier, nil, 0)
+}
+
+// Bcast distributes root's data to every rank and returns it. bytes is
+// the payload size for the cost model; non-root ranks may pass nil data.
+func (c *Comm) Bcast(root int, data interface{}, bytes int) interface{} {
+	return c.bcastTree(root, tagBcast, data, bytes)
+}
+
+// bcastTree implements a binomial broadcast. Ranks are renumbered so the
+// root is virtual rank 0.
+func (c *Comm) bcastTree(root, tag int, data interface{}, bytes int) interface{} {
+	p := c.Size()
+	vr := (c.rank - root + p) % p // virtual rank
+	// Receive from the parent: in a binomial tree the parent of vr is vr
+	// with its lowest set bit cleared.
+	if vr != 0 {
+		parent := vr &^ (vr & -vr)
+		src := (parent + root) % p
+		m := c.recvFull(src, tag)
+		data = m.data
+		bytes = m.bytes
+	}
+	// Forward to children vr|2^k for 2^k below vr's lowest set bit,
+	// largest subtree first so the broadcast completes in ⌈log₂P⌉ rounds
+	// despite serialized sends.
+	lsb := vr & -vr
+	if vr == 0 {
+		lsb = 1 << 30
+	}
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	for bit := top; bit >= 1; bit >>= 1 {
+		if vr != 0 && bit >= lsb {
+			continue
+		}
+		child := vr | bit
+		if child == vr || child >= p {
+			continue
+		}
+		dst := (child + root) % p
+		c.Send(dst, tag, data, bytes)
+	}
+	return data
+}
+
+// ReduceFunc combines two payloads (the accumulator convention is
+// combine(acc, incoming) → new acc).
+type ReduceFunc func(a, b interface{}) interface{}
+
+// Reduce combines payloads from all ranks at the root using a binomial
+// tree; non-root ranks return nil.
+func (c *Comm) Reduce(root int, data interface{}, bytes int, combine ReduceFunc) interface{} {
+	return c.reduceTree(root, tagReduce, data, bytes, combine)
+}
+
+func (c *Comm) reduceTree(root, tag int, data interface{}, bytes int, combine ReduceFunc) interface{} {
+	p := c.Size()
+	vr := (c.rank - root + p) % p
+	acc := data
+	// Receive from children (mirror of the broadcast tree).
+	lsb := vr & -vr
+	if vr == 0 {
+		lsb = 1 << 30
+	}
+	// Children must be collected in descending bit order so the reduce
+	// pairs mirror the broadcast exactly; ascending works too but keep it
+	// deterministic.
+	for bit := 1; bit < p; bit <<= 1 {
+		if vr != 0 && bit >= lsb {
+			break
+		}
+		child := vr | bit
+		if child == vr || child >= p {
+			continue
+		}
+		src := (child + root) % p
+		in := c.Recv(src, tag)
+		if combine != nil {
+			acc = combine(acc, in)
+		}
+	}
+	if vr != 0 {
+		parent := vr &^ (vr & -vr)
+		dst := (parent + root) % p
+		c.Send(dst, tag, acc, bytes)
+		return nil
+	}
+	return acc
+}
+
+// ReduceSum element-wise sums float64 slices at the root; non-root ranks
+// receive nil.
+func (c *Comm) ReduceSum(root int, x []float64) []float64 {
+	out := c.Reduce(root, append([]float64(nil), x...), 8*len(x), func(a, b interface{}) interface{} {
+		av := a.([]float64)
+		bv := b.([]float64)
+		for i := range av {
+			av[i] += bv[i]
+		}
+		return av
+	})
+	if out == nil {
+		return nil
+	}
+	return out.([]float64)
+}
+
+// AllreduceSum element-wise sums float64 slices across all ranks and
+// returns the result everywhere.
+func (c *Comm) AllreduceSum(x []float64) []float64 {
+	s := c.ReduceSum(0, x)
+	res := c.Bcast(0, s, 8*len(x))
+	return res.([]float64)
+}
+
+// AllreduceMax returns the maximum of one scalar across all ranks.
+func (c *Comm) AllreduceMax(x float64) float64 {
+	out := c.Reduce(0, []float64{x}, 8, func(a, b interface{}) interface{} {
+		av := a.([]float64)
+		bv := b.([]float64)
+		if bv[0] > av[0] {
+			av[0] = bv[0]
+		}
+		return av
+	})
+	res := c.Bcast(0, out, 8)
+	return res.([]float64)[0]
+}
+
+// Gather collects every rank's payload at the root in rank order;
+// non-root ranks return nil.
+func (c *Comm) Gather(root int, data interface{}, bytes int) []interface{} {
+	p := c.Size()
+	if c.rank != root {
+		c.Send(root, tagGather, data, bytes)
+		return nil
+	}
+	out := make([]interface{}, p)
+	out[root] = data
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.Recv(r, tagGather)
+	}
+	return out
+}
+
+// Allgather collects every rank's payload everywhere, in rank order.
+func (c *Comm) Allgather(data interface{}, bytes int) []interface{} {
+	parts := c.Gather(0, data, bytes)
+	total := bytes * c.Size()
+	res := c.Bcast(0, parts, total)
+	return res.([]interface{})
+}
+
+// Scatter sends parts[r] to each rank r from the root and returns this
+// rank's part. bytesEach is the per-part payload size.
+func (c *Comm) Scatter(root int, parts []interface{}, bytesEach int) interface{} {
+	p := c.Size()
+	if c.rank == root {
+		if len(parts) != p {
+			panic("dist: Scatter needs one part per rank")
+		}
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			c.Send(r, tagScatter, parts[r], bytesEach)
+		}
+		return parts[root]
+	}
+	return c.Recv(root, tagScatter)
+}

@@ -1,0 +1,299 @@
+// Package dist is the distributed-memory substrate standing in for MPI in
+// the paper's parallel implementations. It runs P ranks as goroutines in
+// an SPMD style with point-to-point messages and tree-based collectives,
+// and tracks a deterministic per-rank virtual clock: compute advances a
+// rank's clock by flops·Gamma, communication by Alpha + Beta·bytes with
+// max-propagation across message edges (the classic α–β/LogP model).
+//
+// Because the host has a single CPU core, real wall-clock speedup cannot
+// be observed; the virtual clock is what the strong-scaling and kernel-
+// breakdown experiments (Figs 4–6) report. The data movement itself is
+// real: ranks exchange actual matrix blocks through channels, so the
+// distributed algorithms are executed, not emulated.
+package dist
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config holds the performance-model parameters.
+type Config struct {
+	Alpha float64 // message latency, seconds
+	Beta  float64 // seconds per byte transferred
+	Gamma float64 // seconds per floating-point operation
+}
+
+// DefaultConfig models a commodity cluster node: ~1 µs MPI latency,
+// ~10 GB/s effective bandwidth, ~2 GFLOP/s effective scalar compute.
+// The ratios, not the absolute values, shape the scaling curves.
+func DefaultConfig() Config {
+	return Config{Alpha: 1e-6, Beta: 1e-10, Gamma: 5e-10}
+}
+
+type message struct {
+	src, tag  int
+	data      interface{}
+	bytes     int
+	sendStart float64 // sender clock when the send began
+}
+
+// mailbox is an unbounded MPI-style matching queue.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.pending = append(mb.pending, m)
+	mb.cond.Signal()
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) get(src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.pending {
+			if m.src == src && m.tag == tag {
+				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// World owns the mailboxes of a running SPMD program.
+type World struct {
+	p     int
+	cfg   Config
+	boxes []*mailbox
+}
+
+// Comm is one rank's handle into the world. It is not safe for use from
+// multiple goroutines; each rank owns exactly one.
+type Comm struct {
+	world    *World
+	rank     int
+	clock    float64
+	commT    float64
+	kernels  map[string]float64
+	korder   []string
+	msgsOut  int
+	bytesOut int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.p }
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// CommTime returns the virtual time this rank has spent communicating.
+func (c *Comm) CommTime() float64 { return c.commT }
+
+// Compute advances the virtual clock by flops·Gamma and attributes the
+// time to the named kernel (Figs 5–6 use these attributions).
+func (c *Comm) Compute(flops float64, kernel string) {
+	if flops < 0 {
+		panic("dist: negative flop count")
+	}
+	dt := flops * c.world.cfg.Gamma
+	c.clock += dt
+	c.addKernel(kernel, dt)
+}
+
+// Elapse advances the virtual clock by dt seconds directly.
+func (c *Comm) Elapse(dt float64, kernel string) {
+	if dt < 0 {
+		panic("dist: negative elapsed time")
+	}
+	c.clock += dt
+	c.addKernel(kernel, dt)
+}
+
+func (c *Comm) addKernel(kernel string, dt float64) {
+	if kernel == "" {
+		return
+	}
+	if _, ok := c.kernels[kernel]; !ok {
+		c.korder = append(c.korder, kernel)
+	}
+	c.kernels[kernel] += dt
+}
+
+// Send transmits data to rank dst with a matching tag. bytes is the
+// payload size used by the cost model. The call charges the sender
+// α + β·bytes and never blocks (mailboxes are unbounded).
+func (c *Comm) Send(dst, tag int, data interface{}, bytes int) {
+	if dst < 0 || dst >= c.world.p {
+		panic(fmt.Sprintf("dist: send to invalid rank %d", dst))
+	}
+	start := c.clock
+	dt := c.world.cfg.Alpha + c.world.cfg.Beta*float64(bytes)
+	c.clock += dt
+	c.commT += dt
+	c.msgsOut++
+	c.bytesOut += bytes
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, bytes: bytes, sendStart: start})
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. The receiver clock advances to
+// max(own, senderStart) + α + β·bytes.
+func (c *Comm) Recv(src, tag int) interface{} {
+	return c.recvFull(src, tag).data
+}
+
+func (c *Comm) recvFull(src, tag int) message {
+	if src < 0 || src >= c.world.p {
+		panic(fmt.Sprintf("dist: recv from invalid rank %d", src))
+	}
+	m := c.world.boxes[c.rank].get(src, tag)
+	before := c.clock
+	if m.sendStart > c.clock {
+		c.clock = m.sendStart
+	}
+	dt := c.world.cfg.Alpha + c.world.cfg.Beta*float64(m.bytes)
+	c.clock += dt
+	c.commT += c.clock - before
+	return m
+}
+
+// SendFloats sends a float64 slice, deriving the byte count.
+func (c *Comm) SendFloats(dst, tag int, x []float64) { c.Send(dst, tag, x, 8*len(x)) }
+
+// RecvFloats receives a float64 slice.
+func (c *Comm) RecvFloats(src, tag int) []float64 { return c.Recv(src, tag).([]float64) }
+
+// Stats summarizes one rank's virtual-time accounting after a run.
+type Stats struct {
+	Rank      int
+	Time      float64            // total virtual time
+	CommTime  float64            // part of Time spent in communication
+	Kernels   map[string]float64 // per-kernel compute attribution
+	KOrder    []string           // kernel names in first-use order
+	MsgsSent  int                // point-to-point messages originated
+	BytesSent int                // payload bytes originated
+}
+
+// Result aggregates per-rank stats of a completed SPMD run.
+type Result struct {
+	Ranks []Stats
+}
+
+// MaxTime returns the slowest rank's virtual time — the modeled parallel
+// runtime of the program.
+func (r *Result) MaxTime() float64 {
+	var m float64
+	for _, s := range r.Ranks {
+		if s.Time > m {
+			m = s.Time
+		}
+	}
+	return m
+}
+
+// MaxKernel returns the maximum over ranks of the time attributed to the
+// named kernel (the "maximum time among processes" of Fig 5).
+func (r *Result) MaxKernel(name string) float64 {
+	var m float64
+	for _, s := range r.Ranks {
+		if v := s.Kernels[name]; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// KernelNames returns the union of kernel names across ranks, in rank-0
+// first-use order followed by any extras.
+func (r *Result) KernelNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range r.Ranks {
+		for _, k := range s.KOrder {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	return names
+}
+
+// Run executes body on p ranks and returns the per-rank virtual-time
+// statistics. It blocks until every rank returns. Panics in rank bodies
+// propagate to the caller.
+func Run(p int, cfg Config, body func(*Comm)) *Result {
+	if p < 1 {
+		panic("dist: need at least one rank")
+	}
+	w := &World{p: p, cfg: cfg, boxes: make([]*mailbox, p)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	comms := make([]*Comm, p)
+	for i := range comms {
+		comms[i] = &Comm{world: w, rank: i, kernels: map[string]float64{}}
+	}
+	var wg sync.WaitGroup
+	panics := make([]interface{}, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[rank] = r
+				}
+			}()
+			body(comms[rank])
+		}(i)
+	}
+	wg.Wait()
+	for rank, pv := range panics {
+		if pv != nil {
+			panic(fmt.Sprintf("dist: rank %d panicked: %v", rank, pv))
+		}
+	}
+	res := &Result{Ranks: make([]Stats, p)}
+	for i, c := range comms {
+		res.Ranks[i] = Stats{
+			Rank: i, Time: c.clock, CommTime: c.commT,
+			Kernels: c.kernels, KOrder: c.korder,
+			MsgsSent: c.msgsOut, BytesSent: c.bytesOut,
+		}
+	}
+	return res
+}
+
+// TotalMessages returns the point-to-point message count across ranks.
+func (r *Result) TotalMessages() int {
+	n := 0
+	for _, s := range r.Ranks {
+		n += s.MsgsSent
+	}
+	return n
+}
+
+// TotalBytes returns the payload bytes sent across ranks.
+func (r *Result) TotalBytes() int {
+	n := 0
+	for _, s := range r.Ranks {
+		n += s.BytesSent
+	}
+	return n
+}

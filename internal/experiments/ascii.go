@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// sparkTicks are the eight block characters a sparkline quantizes into.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders a compact single-line chart of vals, scaled to
+// [min, max] of the series. Non-finite and negative-infinite values
+// render as spaces.
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(vals))
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkTicks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkTicks) {
+			idx = len(sparkTicks) - 1
+		}
+		b.WriteRune(sparkTicks[idx])
+	}
+	return b.String()
+}
+
+// hbar renders a horizontal bar of the given fraction of width cells.
+func hbar(frac float64, width int) string {
+	if math.IsNaN(frac) || frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}
+
+// printBarChart renders labeled horizontal bars scaled to the series
+// maximum (the text rendering used by the kernel-breakdown figures).
+func printBarChart(w io.Writer, labels []string, vals []float64, width int) {
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, l := range labels {
+		frac := 0.0
+		if max > 0 {
+			frac = vals[i] / max
+		}
+		fmt.Fprintf(w, "  %-*s %s %.3g\n", labelW, l, hbar(frac, width), vals[i])
+	}
+}

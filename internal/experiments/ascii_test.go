@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if sparkline(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	s := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length %d", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	// Monotone input → monotone ticks.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("not monotone: %q", s)
+		}
+	}
+}
+
+func TestSparklineConstantAndNaN(t *testing.T) {
+	s := sparkline([]float64{5, 5, 5})
+	if utf8.RuneCountInString(s) != 3 {
+		t.Fatalf("constant series length: %q", s)
+	}
+	s = sparkline([]float64{1, math.NaN(), 2})
+	if []rune(s)[1] != ' ' {
+		t.Fatalf("NaN should render blank: %q", s)
+	}
+	s = sparkline([]float64{math.NaN(), math.Inf(1)})
+	if strings.TrimSpace(s) != "" {
+		t.Fatalf("all-invalid series should be blank: %q", s)
+	}
+}
+
+func TestHBar(t *testing.T) {
+	if got := hbar(0, 10); strings.Contains(got, "█") {
+		t.Fatalf("zero bar: %q", got)
+	}
+	if got := hbar(1, 10); strings.Contains(got, "·") {
+		t.Fatalf("full bar: %q", got)
+	}
+	if got := hbar(0.5, 10); strings.Count(got, "█") != 5 {
+		t.Fatalf("half bar: %q", got)
+	}
+	// Clamping.
+	if got := hbar(7, 4); strings.Count(got, "█") != 4 {
+		t.Fatalf("overflow bar: %q", got)
+	}
+	if got := hbar(math.NaN(), 4); strings.Count(got, "█") != 0 {
+		t.Fatalf("NaN bar: %q", got)
+	}
+}
+
+func TestPrintBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	printBarChart(&buf, []string{"a", "bb"}, []float64{1, 2}, 8)
+	out := buf.String()
+	if !strings.Contains(out, "a ") || !strings.Contains(out, "bb") {
+		t.Fatalf("labels missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d", len(lines))
+	}
+	// The larger value fills the bar.
+	if strings.Count(lines[1], "█") != 8 {
+		t.Fatalf("max bar not full: %q", lines[1])
+	}
+	if strings.Count(lines[0], "█") != 4 {
+		t.Fatalf("half bar wrong: %q", lines[0])
+	}
+}

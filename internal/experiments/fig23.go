@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sparselr/internal/core"
+	"sparselr/internal/gen"
+	"sparselr/internal/tsvd"
+)
+
+// QualityPoint is one tolerance step of a runtime-vs-quality sweep.
+type QualityPoint struct {
+	Tol float64
+
+	TimeQB0, TimeQB1, TimeQB2 float64 // modeled parallel runtime
+	TimeLU, TimeILUT          float64
+	OKQB0, OKQB1, OKQB2       bool
+	OKLU, OKILUT              bool
+
+	RankLU    int
+	RankQB    int
+	MinRank   int // TSVD minimum rank required (right axis circles)
+	ApproxMin int // RandQB_EI p=2 estimate (right axis asterisks)
+	N         int // matrix size for the percentage axis
+}
+
+// QualitySweep is the full Fig 2/3 sweep for one matrix.
+type QualitySweep struct {
+	Label  string
+	Points []QualityPoint
+}
+
+// RunFig2 reproduces Fig 2: runtime vs approximation quality for the M3
+// and M4 analogs, with the minimum rank required (TSVD) and the
+// approximated minimum rank (RandQB_EI with p = 2) on the right axis.
+func RunFig2(cfg Config) []QualitySweep {
+	return runQualitySweep(cfg, []string{"M3", "M4"}, nil, true, "Fig 2")
+}
+
+// RunFig3 reproduces Fig 3: the same sweep for the M5 analog over an
+// extended tolerance range. The TSVD reference is computed when the
+// matrix is small enough (the paper could not evaluate it for M5).
+func RunFig3(cfg Config) []QualitySweep {
+	ext := []float64{2e-1, 1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 3e-4}
+	return runQualitySweep(cfg, []string{"M5"}, ext, cfg.Scale == gen.Small, "Fig 3")
+}
+
+func runQualitySweep(cfg Config, labels []string, tols []float64, withTSVD bool, title string) []QualitySweep {
+	w := cfg.out()
+	fmt.Fprintf(w, "%s: runtime vs approximation quality (modeled parallel seconds; right axis: min rank %% of n)\n", title)
+	var out []QualitySweep
+	for _, m := range cfg.tableIWorkloads() {
+		if !contains(labels, m.Label) {
+			continue
+		}
+		p := paramsFor(m.Label, cfg.Scale)
+		sweep := QualitySweep{Label: m.Label}
+		sweepTols := tols
+		if sweepTols == nil {
+			sweepTols = []float64{2e-1, 1e-1, 3e-2, 1e-2, 3e-3, 1e-3}
+		}
+		_, n := m.A.Dims()
+		// One spectrum evaluation serves every tolerance.
+		var minRanks []int
+		if withTSVD {
+			minRanks = tsvd.MinRankCurve(m.A, sweepTols)
+		}
+		fmt.Fprintf(w, "%s (n=%d, k=%d, np=%d)\n", m.Label, n, p.K, p.NP)
+		fmt.Fprintf(w, "%10s %9s %9s %9s %9s %9s | %7s %7s\n",
+			"tau", "QB_p0", "QB_p1", "QB_p2", "LU_CRTP", "ILUT", "minrank", "approx")
+		for ti, tol := range sweepTols {
+			pt := QualityPoint{Tol: tol, N: n}
+			run := func(method core.Method, power int) (float64, bool, int) {
+				ap, err := core.Approximate(m.A, core.Options{
+					Method: method, BlockSize: p.K, Tol: tol, Power: power,
+					Seed: cfg.Seed + 3, Procs: p.NP, EstIters: p.EstIter,
+				})
+				if err != nil || !ap.Converged {
+					return 0, false, 0
+				}
+				return ap.VirtualTime, true, ap.Rank
+			}
+			pt.TimeQB0, pt.OKQB0, _ = run(core.RandQBEI, 0)
+			pt.TimeQB1, pt.OKQB1, pt.RankQB = run(core.RandQBEI, 1)
+			pt.TimeQB2, pt.OKQB2, _ = run(core.RandQBEI, 2)
+			pt.TimeLU, pt.OKLU, pt.RankLU = run(core.LUCRTP, 0)
+			pt.TimeILUT, pt.OKILUT, _ = run(core.ILUTCRTP, 0)
+			if withTSVD && minRanks != nil {
+				pt.MinRank = minRanks[ti]
+			}
+			// Approximated minimum rank from a p=2 RandQB run (Fig 2's
+			// asterisks): reuse one over-resolved run per tolerance.
+			if ap, err := core.Approximate(m.A, core.Options{
+				Method: core.RandQBEI, BlockSize: p.K, Tol: tol / 2, Power: 2,
+				Seed: cfg.Seed + 4, Procs: 1,
+			}); err == nil {
+				pt.ApproxMin = ap.QB.MinRank(tol)
+			}
+			sweep.Points = append(sweep.Points, pt)
+			fmt.Fprintf(w, "%10.0e %9s %9s %9s %9s %9s | %7s %7d\n",
+				tol,
+				orDash(pt.OKQB0, "%.3g", pt.TimeQB0),
+				orDash(pt.OKQB1, "%.3g", pt.TimeQB1),
+				orDash(pt.OKQB2, "%.3g", pt.TimeQB2),
+				orDash(pt.OKLU, "%.3g", pt.TimeLU),
+				orDash(pt.OKILUT, "%.3g", pt.TimeILUT),
+				orDash(pt.MinRank > 0, "%d", pt.MinRank),
+				pt.ApproxMin)
+		}
+		out = append(out, sweep)
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"sparselr/internal/mat"
+	"sparselr/internal/sparse"
+)
+
+func TestLaplacian2DStructure(t *testing.T) {
+	a := Laplacian2D(4, 5)
+	if r, c := a.Dims(); r != 20 || c != 20 {
+		t.Fatalf("dims %d×%d, want 20×20", r, c)
+	}
+	// Symmetric, diagonal 4, off-diagonals -1, row sums ≥ 0 with
+	// boundary rows > 0.
+	if !a.Transpose().Equal(a, 0) {
+		t.Fatal("Laplacian must be symmetric")
+	}
+	for i := 0; i < 20; i++ {
+		if a.At(i, i) != 4 {
+			t.Fatal("diagonal must be 4")
+		}
+	}
+	// Interior point has 5 entries.
+	cols, _ := a.RowView(1*5 + 2)
+	if len(cols) != 5 {
+		t.Fatalf("interior row has %d entries, want 5", len(cols))
+	}
+}
+
+func TestFluidStencilDenserRows(t *testing.T) {
+	a := FluidStencil(6, 6, 3, 1)
+	n := 6 * 6 * 3
+	if r, c := a.Dims(); r != n || c != n {
+		t.Fatalf("dims %d×%d", r, c)
+	}
+	// Average row degree must be far above the Laplacian's ~5: the
+	// fill-heavy class.
+	avg := float64(a.NNZ()) / float64(n)
+	if avg < 15 {
+		t.Fatalf("average row degree %.1f too low for the M2 class", avg)
+	}
+	// Interior rows couple to 9 points × 3 dof = 27 columns.
+	mid := (3*6 + 3) * 3
+	cols, _ := a.RowView(mid)
+	if len(cols) != 27 {
+		t.Fatalf("interior row has %d entries, want 27", len(cols))
+	}
+}
+
+func TestCircuitProperties(t *testing.T) {
+	a := Circuit(300, 6, 2)
+	if r, c := a.Dims(); r != 300 || c != 300 {
+		t.Fatal("bad dims")
+	}
+	// Nonzero diagonal everywhere.
+	for i := 0; i < 300; i++ {
+		if a.At(i, i) == 0 {
+			t.Fatal("circuit diagonal must be nonzero")
+		}
+	}
+	// Power-law-ish: the most connected node has far more entries than
+	// the median.
+	maxDeg, total := 0, 0
+	for i := 0; i < 300; i++ {
+		cols, _ := a.RowView(i)
+		total += len(cols)
+		if len(cols) > maxDeg {
+			maxDeg = len(cols)
+		}
+	}
+	avg := total / 300
+	if maxDeg < 3*avg {
+		t.Fatalf("expected hub structure: max degree %d vs avg %d", maxDeg, avg)
+	}
+}
+
+func TestEconomicStructure(t *testing.T) {
+	a := Economic(200, 3)
+	if r, c := a.Dims(); r != 200 || c != 200 {
+		t.Fatal("bad dims")
+	}
+	if a.Density() < 0.01 || a.Density() > 0.5 {
+		t.Fatalf("implausible density %v", a.Density())
+	}
+	// The aggregate rows near the bottom must be much denser than a
+	// typical sector row.
+	aggCols, _ := a.RowView(199)
+	midCols, _ := a.RowView(100)
+	if len(aggCols) < 2*len(midCols) {
+		t.Fatalf("aggregate row degree %d vs sector row %d", len(aggCols), len(midCols))
+	}
+}
+
+func TestRandLowRankSpectrum(t *testing.T) {
+	a := RandLowRank(40, 40, 10, 0.5, 4, 7)
+	sv := mat.SingularValues(a.ToDense())
+	// Rank exactly 10 numerically.
+	if sv[9] < 1e-8 {
+		t.Fatal("10th singular value collapsed")
+	}
+	for j := 10; j < len(sv); j++ {
+		if sv[j] > 1e-8*sv[0] {
+			t.Fatalf("σ%d = %v should be numerically zero", j, sv[j])
+		}
+	}
+	// Decay roughly geometric: σ₈/σ₀ far below 1.
+	if sv[8]/sv[0] > 0.1 {
+		t.Fatalf("expected strong decay, got ratio %v", sv[8]/sv[0])
+	}
+}
+
+func TestTableIScalesAndClasses(t *testing.T) {
+	for _, s := range []Scale{Small, Medium} {
+		ms := TableI(s)
+		if len(ms) != 6 {
+			t.Fatalf("want 6 matrices, got %d", len(ms))
+		}
+		labels := map[string]bool{}
+		for _, m := range ms {
+			labels[m.Label] = true
+			r, c := m.A.Dims()
+			if r == 0 || c == 0 || m.A.NNZ() == 0 {
+				t.Fatalf("%s (%s) is degenerate", m.Label, m.Name)
+			}
+		}
+		for _, l := range []string{"M1", "M2", "M3", "M4", "M5", "M6"} {
+			if !labels[l] {
+				t.Fatalf("missing %s", l)
+			}
+		}
+	}
+	// Medium strictly larger than small.
+	sm := TableI(Small)
+	md := TableI(Medium)
+	for i := range sm {
+		if md[i].A.NNZ() <= sm[i].A.NNZ() {
+			t.Fatalf("%s: medium nnz %d not above small %d", sm[i].Label, md[i].A.NNZ(), sm[i].A.NNZ())
+		}
+	}
+}
+
+func TestTableIDeterministic(t *testing.T) {
+	a := TableI(Small)
+	b := TableI(Small)
+	for i := range a {
+		if !a[i].A.Equal(b[i].A, 0) {
+			t.Fatalf("%s not deterministic", a[i].Label)
+		}
+	}
+}
+
+func TestByLabel(t *testing.T) {
+	m, err := ByLabel("M3", Small)
+	if err != nil || m.Name != "onetone2" {
+		t.Fatalf("ByLabel failed: %v %v", m.Name, err)
+	}
+	if _, err := ByLabel("M9", Small); err == nil {
+		t.Fatal("expected error for unknown label")
+	}
+}
+
+func TestSJSUSuiteProperties(t *testing.T) {
+	suite := SJSUSuite(24, 1)
+	if len(suite) != 24 {
+		t.Fatalf("got %d matrices", len(suite))
+	}
+	prevRank := 0
+	for _, sm := range suite {
+		if sm.NumRank < prevRank {
+			t.Fatal("suite must be ordered by ascending numerical rank")
+		}
+		prevRank = sm.NumRank
+		r, c := sm.A.Dims()
+		if r < sm.NumRank || c < sm.NumRank {
+			t.Fatalf("%s: dims %d×%d below rank %d", sm.Name, r, c, sm.NumRank)
+		}
+		if sm.A.NNZ() == 0 {
+			t.Fatalf("%s empty", sm.Name)
+		}
+	}
+}
+
+func TestSJSUSuiteNumericalRankAccurate(t *testing.T) {
+	// Spot-check that the constructed numerical rank matches the SVD.
+	suite := SJSUSuite(12, 2)
+	for _, sm := range suite[:6] {
+		sv := mat.SingularValues(sm.A.ToDense())
+		count := 0
+		for _, s := range sv {
+			if s > 1e-9*sv[0] {
+				count++
+			}
+		}
+		if count != sm.NumRank {
+			t.Fatalf("%s: numerical rank %d, constructed %d", sm.Name, count, sm.NumRank)
+		}
+	}
+}
+
+func TestSJSUSuiteDeterministic(t *testing.T) {
+	a := SJSUSuite(8, 5)
+	b := SJSUSuite(8, 5)
+	for i := range a {
+		if a[i].Name != b[i].Name || !a[i].A.Equal(b[i].A, 0) {
+			t.Fatal("suite must be deterministic")
+		}
+	}
+}
+
+func TestGeneratorsProduceValidCSR(t *testing.T) {
+	mats := []*sparse.CSR{
+		Laplacian2D(5, 5),
+		FluidStencil(4, 4, 2, 1),
+		Circuit(100, 4, 2),
+		Economic(120, 3),
+		RandLowRank(30, 20, 8, 0.7, 3, 4),
+	}
+	for i, a := range mats {
+		// Row pointers monotone, indices sorted and in range.
+		for r := 0; r < a.Rows; r++ {
+			if a.RowPtr[r+1] < a.RowPtr[r] {
+				t.Fatalf("matrix %d: row ptr not monotone", i)
+			}
+			cols, _ := a.RowView(r)
+			for k, c := range cols {
+				if c < 0 || c >= a.Cols {
+					t.Fatalf("matrix %d: column out of range", i)
+				}
+				if k > 0 && cols[k-1] >= c {
+					t.Fatalf("matrix %d: columns not strictly increasing", i)
+				}
+			}
+		}
+		if math.IsNaN(a.FrobNorm()) {
+			t.Fatalf("matrix %d: NaN entries", i)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bidiagToDense expands (d, e) into the explicit upper bidiagonal matrix.
+func bidiagToDense(d, e []float64) *Dense {
+	n := len(d)
+	b := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		b.Set(i, i, d[i])
+		if i < n-1 {
+			b.Set(i, i+1, e[i])
+		}
+	}
+	return b
+}
+
+func TestBidiagonalizePreservesSingularValues(t *testing.T) {
+	for _, dims := range [][2]int{{10, 6}, {8, 8}, {20, 5}} {
+		a := randDense(dims[0], dims[1], int64(300+dims[0]))
+		d, e := Bidiagonalize(a)
+		// The bidiagonal matrix must have the same singular values as a.
+		_, svB, _ := SVD(bidiagToDense(d, e))
+		_, svA, _ := SVD(a)
+		for i := range svA {
+			if math.Abs(svA[i]-svB[i]) > 1e-10*svA[0] {
+				t.Fatalf("%v: σ%d %v vs %v", dims, i, svB[i], svA[i])
+			}
+		}
+	}
+}
+
+func TestBidiagonalSVDValuesKnown(t *testing.T) {
+	// Diagonal matrix: singular values are |d| sorted.
+	d := []float64{3, -1, 2}
+	e := []float64{0, 0}
+	got := BidiagonalSVDValues(d, e)
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestBidiagonalSVDValuesAgainstJacobi(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randDense(7, 7, seed)
+		d, e := Bidiagonalize(a)
+		dd := append([]float64(nil), d...)
+		ee := append([]float64(nil), e...)
+		got := BidiagonalSVDValues(dd, ee)
+		_, want, _ := SVD(a)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(want[0]+1e-300) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingularValuesGKMatchesJacobi(t *testing.T) {
+	for _, dims := range [][2]int{{12, 8}, {8, 12}, {15, 15}} {
+		a := randDense(dims[0], dims[1], int64(310+dims[0]))
+		got := SingularValuesGK(a)
+		_, want, _ := SVD(a)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d values, want %d", dims, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*want[0] {
+				t.Fatalf("%v: σ%d = %v, want %v", dims, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSingularValuesGKRankDeficient(t *testing.T) {
+	u := randDense(12, 3, 320)
+	v := randDense(9, 3, 321)
+	a := MulBT(u, v)
+	got := SingularValuesGK(a)
+	for i := 3; i < len(got); i++ {
+		if got[i] > 1e-10*got[0] {
+			t.Fatalf("σ%d = %v should be ~0 for a rank-3 matrix", i, got[i])
+		}
+	}
+}
+
+func TestSingularValuesGKFrobeniusIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randDense(9, 6, seed)
+		sv := SingularValuesGK(a)
+		var sum float64
+		for _, s := range sv {
+			sum += s * s
+		}
+		return math.Abs(sum-a.FrobNorm2()) < 1e-10*a.FrobNorm2()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingularValuesGKEmpty(t *testing.T) {
+	if got := SingularValuesGK(NewDense(0, 0)); len(got) != 0 {
+		t.Fatal("empty matrix should give no singular values")
+	}
+}
+
+func TestGivensAnnihilates(t *testing.T) {
+	for _, pair := range [][2]float64{{3, 4}, {0, 5}, {-2, 7}, {1, 0}, {-3, -4}} {
+		c, s := givens(pair[0], pair[1])
+		if z := s*pair[0] + c*pair[1]; math.Abs(z) > 1e-14 {
+			t.Fatalf("givens(%v,%v): residual %v", pair[0], pair[1], z)
+		}
+		if math.Abs(c*c+s*s-1) > 1e-14 {
+			t.Fatalf("givens(%v,%v): not orthogonal", pair[0], pair[1])
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve meets an exactly
+// or numerically singular pivot.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// LUFactor holds a compact LU factorization with partial pivoting:
+// P·A = L·U, with L unit-lower-triangular and U upper triangular packed
+// into lu, and piv recording the row interchanges applied at each step.
+type LUFactor struct {
+	lu  *Dense
+	piv []int
+	n   int
+}
+
+// LU computes P·a = L·U with partial pivoting. a must be square.
+func LU(a *Dense) (*LUFactor, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("mat: LU of non-square %d×%d matrix", n, c)
+	}
+	f := a.Clone()
+	piv := make([]int, n)
+	// Numerical singularity threshold relative to the matrix magnitude.
+	tol := f.MaxAbs() * float64(n) * 1e-14
+	for j := 0; j < n; j++ {
+		// Find the pivot row.
+		p, pv := j, math.Abs(f.At(j, j))
+		for i := j + 1; i < n; i++ {
+			if v := math.Abs(f.At(i, j)); v > pv {
+				p, pv = i, v
+			}
+		}
+		piv[j] = p
+		if pv <= tol {
+			return nil, ErrSingular
+		}
+		if p != j {
+			f.SwapRows(j, p)
+		}
+		d := f.At(j, j)
+		for i := j + 1; i < n; i++ {
+			l := f.At(i, j) / d
+			f.Set(i, j, l)
+			if l == 0 {
+				continue
+			}
+			frow, jrow := f.Row(i), f.Row(j)
+			for c := j + 1; c < n; c++ {
+				frow[c] -= l * jrow[c]
+			}
+		}
+	}
+	return &LUFactor{lu: f, piv: piv, n: n}, nil
+}
+
+// Solve computes X such that A·X = B for the factored A.
+func (f *LUFactor) Solve(b *Dense) *Dense {
+	if b.Rows != f.n {
+		panic("mat: LU Solve dimension mismatch")
+	}
+	x := b.Clone()
+	// Apply the pivots.
+	for j := 0; j < f.n; j++ {
+		if f.piv[j] != j {
+			x.SwapRows(j, f.piv[j])
+		}
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < f.n; i++ {
+		lrow := f.lu.Row(i)
+		xrow := x.Row(i)
+		for k := 0; k < i; k++ {
+			l := lrow[k]
+			if l == 0 {
+				continue
+			}
+			krow := x.Row(k)
+			for c := range xrow {
+				xrow[c] -= l * krow[c]
+			}
+		}
+	}
+	// Back substitution with the upper triangle.
+	for i := f.n - 1; i >= 0; i-- {
+		urow := f.lu.Row(i)
+		xrow := x.Row(i)
+		for k := i + 1; k < f.n; k++ {
+			u := urow[k]
+			if u == 0 {
+				continue
+			}
+			krow := x.Row(k)
+			for c := range xrow {
+				xrow[c] -= u * krow[c]
+			}
+		}
+		d := urow[i]
+		for c := range xrow {
+			xrow[c] /= d
+		}
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LUFactor) Det() float64 {
+	d := 1.0
+	for j := 0; j < f.n; j++ {
+		d *= f.lu.At(j, j)
+		if f.piv[j] != j {
+			d = -d
+		}
+	}
+	return d
+}
+
+// Solve computes X with a·X = b via LU with partial pivoting.
+func Solve(a, b *Dense) (*Dense, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// SolveRight computes X with X·a = b, i.e. X = b·a⁻¹, via the identity
+// aᵀ·Xᵀ = bᵀ. This is the kernel used for the Ā₂₁·Ā₁₁⁻¹ panel in
+// LU_CRTP.
+func SolveRight(b, a *Dense) (*Dense, error) {
+	xt, err := Solve(a.T(), b.T())
+	if err != nil {
+		return nil, err
+	}
+	return xt.T(), nil
+}
+
+// SolveUpper solves r·X = b for upper-triangular r by back substitution.
+func SolveUpper(r, b *Dense) (*Dense, error) {
+	n, c := r.Dims()
+	if n != c || b.Rows != n {
+		panic("mat: SolveUpper dimension mismatch")
+	}
+	x := b.Clone()
+	for i := n - 1; i >= 0; i-- {
+		d := r.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		xrow := x.Row(i)
+		rrow := r.Row(i)
+		for k := i + 1; k < n; k++ {
+			u := rrow[k]
+			if u == 0 {
+				continue
+			}
+			krow := x.Row(k)
+			for cc := range xrow {
+				xrow[cc] -= u * krow[cc]
+			}
+		}
+		for cc := range xrow {
+			xrow[cc] /= d
+		}
+	}
+	return x, nil
+}
+
+// SolveUpperRight solves X·r = b for upper-triangular r (X = b·r⁻¹) by
+// forward substitution over columns.
+func SolveUpperRight(b, r *Dense) (*Dense, error) {
+	n, c := r.Dims()
+	if n != c || b.Cols != n {
+		panic("mat: SolveUpperRight dimension mismatch")
+	}
+	x := b.Clone()
+	for j := 0; j < n; j++ {
+		d := r.At(j, j)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		for i := 0; i < x.Rows; i++ {
+			xrow := x.Row(i)
+			s := xrow[j]
+			for k := 0; k < j; k++ {
+				s -= xrow[k] * r.At(k, j)
+			}
+			xrow[j] = s / d
+		}
+	}
+	return x, nil
+}
+
+// SolveLowerUnit solves l·X = b for unit-lower-triangular l (diagonal
+// entries are taken as 1 regardless of storage).
+func SolveLowerUnit(l, b *Dense) *Dense {
+	n := l.Rows
+	if b.Rows != n {
+		panic("mat: SolveLowerUnit dimension mismatch")
+	}
+	x := b.Clone()
+	for i := 1; i < n; i++ {
+		xrow := x.Row(i)
+		lrow := l.Row(i)
+		for k := 0; k < i; k++ {
+			lv := lrow[k]
+			if lv == 0 {
+				continue
+			}
+			krow := x.Row(k)
+			for c := range xrow {
+				xrow[c] -= lv * krow[c]
+			}
+		}
+	}
+	return x
+}

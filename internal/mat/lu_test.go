@@ -1,0 +1,146 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveRoundTrip(t *testing.T) {
+	a := randDense(6, 6, 61)
+	x := randDense(6, 3, 62)
+	b := Mul(a, x)
+	got, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(x, 1e-9) {
+		t.Fatal("LU solve did not recover x")
+	}
+}
+
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randDense(5, 5, seed)
+		// Make well conditioned by adding a diagonal shift.
+		for i := 0; i < 5; i++ {
+			a.Set(i, i, a.At(i, i)+6)
+		}
+		x := randDense(5, 2, seed+1)
+		b := Mul(a, x)
+		got, err := Solve(a, b)
+		return err == nil && got.Equal(x, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDense(3, 3) // all zeros
+	if _, err := LU(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	// Rank-1 matrix.
+	u := randDense(3, 1, 63)
+	v := randDense(3, 1, 64)
+	r1 := MulBT(u, v)
+	if _, err := LU(r1); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular for rank-1, got %v", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := LU(NewDense(3, 4)); err == nil {
+		t.Fatal("expected an error for non-square LU")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{2, 1, 1, 3})
+	f, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("det = %v, want 5", got)
+	}
+}
+
+func TestSolveRight(t *testing.T) {
+	a := randDense(4, 4, 65)
+	for i := 0; i < 4; i++ {
+		a.Set(i, i, a.At(i, i)+5)
+	}
+	x := randDense(6, 4, 66)
+	b := Mul(x, a)
+	got, err := SolveRight(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(x, 1e-9) {
+		t.Fatal("SolveRight did not recover x")
+	}
+}
+
+func TestSolveUpper(t *testing.T) {
+	r := NewDenseFrom(3, 3, []float64{2, 1, -1, 0, 3, 2, 0, 0, 4})
+	x := randDense(3, 2, 67)
+	b := Mul(r, x)
+	got, err := SolveUpper(r, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(x, 1e-12) {
+		t.Fatal("SolveUpper wrong")
+	}
+}
+
+func TestSolveUpperSingular(t *testing.T) {
+	r := NewDenseFrom(2, 2, []float64{1, 2, 0, 0})
+	if _, err := SolveUpper(r, NewDense(2, 1)); !errors.Is(err, ErrSingular) {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestSolveUpperRight(t *testing.T) {
+	r := NewDenseFrom(3, 3, []float64{2, 1, -1, 0, 3, 2, 0, 0, 4})
+	x := randDense(4, 3, 68)
+	b := Mul(x, r)
+	got, err := SolveUpperRight(b, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(x, 1e-12) {
+		t.Fatal("SolveUpperRight wrong")
+	}
+}
+
+func TestSolveLowerUnit(t *testing.T) {
+	l := NewDenseFrom(3, 3, []float64{
+		1, 0, 0,
+		2, 1, 0,
+		-1, 3, 1,
+	})
+	x := randDense(3, 2, 69)
+	b := Mul(l, x)
+	got := SolveLowerUnit(l, b)
+	if !got.Equal(x, 1e-12) {
+		t.Fatal("SolveLowerUnit wrong")
+	}
+	// Diagonal values in storage must be ignored (treated as 1).
+	lBad := l.Clone()
+	lBad.Set(0, 0, 99)
+	got2 := SolveLowerUnit(lBad, b)
+	if !got2.Equal(x, 1e-12) {
+		t.Fatal("SolveLowerUnit must treat the diagonal as unit")
+	}
+}
+
+func TestSolveRightSingularPropagates(t *testing.T) {
+	a := NewDense(3, 3)
+	if _, err := SolveRight(randDense(2, 3, 70), a); err == nil {
+		t.Fatal("expected an error for a singular right-solve")
+	}
+}

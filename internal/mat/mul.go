@@ -1,0 +1,221 @@
+package mat
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// gemmParallelThreshold is the number of multiply-adds below which Mul
+// runs single-threaded; spawning workers for tiny products costs more
+// than it saves.
+const gemmParallelThreshold = 1 << 16
+
+// Mul returns a·b using a cache-friendly ikj loop order, parallelized
+// over row blocks of a when the product is large enough.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic("mat: Mul inner dimension mismatch")
+	}
+	out := NewDense(a.Rows, b.Cols)
+	gemmInto(out, a, b, false)
+	return out
+}
+
+// MulAdd accumulates a·b into dst (dst += a·b).
+func MulAdd(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulAdd dimension mismatch")
+	}
+	gemmInto(dst, a, b, true)
+}
+
+// MulSub subtracts a·b from dst (dst -= a·b).
+func MulSub(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulSub dimension mismatch")
+	}
+	neg := a.Clone()
+	neg.Scale(-1)
+	gemmInto(dst, neg, b, true)
+}
+
+func gemmInto(dst, a, b *Dense, accumulate bool) {
+	work := a.Rows * a.Cols * b.Cols
+	nw := runtime.GOMAXPROCS(0)
+	if work < gemmParallelThreshold || nw < 2 || a.Rows < 2 {
+		gemmRows(dst, a, b, 0, a.Rows, accumulate)
+		return
+	}
+	if nw > a.Rows {
+		nw = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRows(dst, a, b, lo, hi, accumulate)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRows computes rows [lo, hi) of dst = (dst +) a·b with an ikj kernel
+// that streams rows of b.
+func gemmRows(dst, a, b *Dense, lo, hi int, accumulate bool) {
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		if !accumulate {
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+		arow := a.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulT returns aᵀ·b without forming the transpose explicitly.
+func MulT(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic("mat: MulT dimension mismatch")
+	}
+	out := NewDense(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow, brow := a.Row(k), b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulBT returns a·bᵀ without forming the transpose explicitly.
+func MulBT(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic("mat: MulBT dimension mismatch")
+	}
+	out := NewDense(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+	return out
+}
+
+// MulVec returns a·x for a column vector x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulTVec returns aᵀ·x.
+func MulTVec(a *Dense, x []float64) []float64 {
+	if a.Rows != len(x) {
+		panic("mat: MulTVec dimension mismatch")
+	}
+	out := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			out[j] += v * xi
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two vectors.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha·x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x with overflow-safe scaling.
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if scale < a {
+			ssq = 1 + ssq*(scale/a)*(scale/a)
+			scale = a
+		} else {
+			ssq += (a / scale) * (a / scale)
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}

@@ -1,0 +1,322 @@
+package mat
+
+import "math"
+
+// qrFactor holds a compact Householder QR factorization: the reflectors
+// are stored below the diagonal of fac, the upper triangle of fac is R and
+// tau holds the reflector coefficients.
+type qrFactor struct {
+	fac *Dense
+	tau []float64
+}
+
+// houseQR computes an in-place Householder QR of a clone of a.
+// It works for any shape; the number of reflectors is min(m, n).
+//
+// The reflector application runs in a row-major two-pass form (gather
+// s = vᵀF over rows, then the rank-one update F -= τ·v·s) so the hot
+// loops stream whole rows instead of striding down columns.
+func houseQR(a *Dense) *qrFactor {
+	m, n := a.Dims()
+	f := a.Clone()
+	k := m
+	if n < k {
+		k = n
+	}
+	tau := make([]float64, k)
+	s := make([]float64, n)
+	for j := 0; j < k; j++ {
+		houseColumn(f, j, m, tau, s, n)
+	}
+	return &qrFactor{fac: f, tau: tau}
+}
+
+// houseColumn forms the reflector for column j and applies it to the
+// trailing submatrix using the scratch buffer s.
+func houseColumn(f *Dense, j, m int, tau, s []float64, n int) {
+	st := f.Stride
+	d := f.Data
+	// Column norm below the diagonal.
+	norm := 0.0
+	for i := j; i < m; i++ {
+		v := d[i*st+j]
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		tau[j] = 0
+		return
+	}
+	alpha := d[j*st+j]
+	if alpha > 0 {
+		norm = -norm
+	}
+	// v = x − norm·e1, normalized so v[0] = 1.
+	v0 := alpha - norm
+	d[j*st+j] = norm
+	inv := 1 / v0
+	for i := j + 1; i < m; i++ {
+		d[i*st+j] *= inv
+	}
+	tau[j] = -v0 / norm // = 2/(vᵀv) scaled for v[0] = 1
+	if j+1 >= n {
+		return
+	}
+	// Pass 1: s[c] = (vᵀ F)(c) for trailing columns, streaming rows.
+	jrow := d[j*st : j*st+n]
+	copy(s[j+1:n], jrow[j+1:n])
+	for i := j + 1; i < m; i++ {
+		vi := d[i*st+j]
+		if vi == 0 {
+			continue
+		}
+		row := d[i*st : i*st+n]
+		for c := j + 1; c < n; c++ {
+			s[c] += vi * row[c]
+		}
+	}
+	t := tau[j]
+	for c := j + 1; c < n; c++ {
+		s[c] *= t
+	}
+	// Pass 2: F -= v·s, streaming rows.
+	for c := j + 1; c < n; c++ {
+		jrow[c] -= s[c]
+	}
+	for i := j + 1; i < m; i++ {
+		vi := d[i*st+j]
+		if vi == 0 {
+			continue
+		}
+		row := d[i*st : i*st+n]
+		for c := j + 1; c < n; c++ {
+			row[c] -= s[c] * vi
+		}
+	}
+}
+
+// applyReflector applies (I − τ·v·vᵀ) for reflector j to b in place,
+// using the same row-streaming two-pass form as houseColumn.
+func (qf *qrFactor) applyReflector(b *Dense, j int, s []float64) {
+	t := qf.tau[j]
+	if t == 0 {
+		return
+	}
+	m := qf.fac.Rows
+	fst := qf.fac.Stride
+	fd := qf.fac.Data
+	w := b.Cols
+	// Pass 1: s = vᵀ·b.
+	copy(s[:w], b.Row(j))
+	for i := j + 1; i < m; i++ {
+		vi := fd[i*fst+j]
+		if vi == 0 {
+			continue
+		}
+		row := b.Row(i)
+		for c := 0; c < w; c++ {
+			s[c] += vi * row[c]
+		}
+	}
+	for c := 0; c < w; c++ {
+		s[c] *= t
+	}
+	// Pass 2: b -= v·s.
+	jrow := b.Row(j)
+	for c := 0; c < w; c++ {
+		jrow[c] -= s[c]
+	}
+	for i := j + 1; i < m; i++ {
+		vi := fd[i*fst+j]
+		if vi == 0 {
+			continue
+		}
+		row := b.Row(i)
+		for c := 0; c < w; c++ {
+			row[c] -= s[c] * vi
+		}
+	}
+}
+
+// applyQ computes Q·b in place, where Q is the (full, m×m) orthogonal
+// factor represented by qf.
+func (qf *qrFactor) applyQ(b *Dense) {
+	if b.Rows != qf.fac.Rows {
+		panic("mat: applyQ dimension mismatch")
+	}
+	s := make([]float64, b.Cols)
+	// Q = H_1 H_2 ... H_k, so Q·b applies reflectors in reverse order.
+	for j := len(qf.tau) - 1; j >= 0; j-- {
+		qf.applyReflector(b, j, s)
+	}
+}
+
+// applyQT computes Qᵀ·b in place.
+func (qf *qrFactor) applyQT(b *Dense) {
+	if b.Rows != qf.fac.Rows {
+		panic("mat: applyQT dimension mismatch")
+	}
+	s := make([]float64, b.Cols)
+	for j := 0; j < len(qf.tau); j++ {
+		qf.applyReflector(b, j, s)
+	}
+}
+
+// thinQ forms the first k columns of Q explicitly.
+func (qf *qrFactor) thinQ(k int) *Dense {
+	m := qf.fac.Rows
+	e := NewDense(m, k)
+	for i := 0; i < k && i < m; i++ {
+		e.Set(i, i, 1)
+	}
+	qf.applyQ(e)
+	return e
+}
+
+// QR computes a thin Householder QR factorization a = q·r with
+// q ∈ ℝ^{m×min(m,n)} having orthonormal columns and r ∈ ℝ^{min(m,n)×n}
+// upper trapezoidal.
+func QR(a *Dense) (q, r *Dense) {
+	m, n := a.Dims()
+	k := m
+	if n < k {
+		k = n
+	}
+	qf := houseQR(a)
+	r = NewDense(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, qf.fac.At(i, j))
+		}
+	}
+	q = qf.thinQ(k)
+	return q, r
+}
+
+// ROnly computes only the R factor of the thin QR of a (used by TSQR tree
+// reductions where Q is not needed).
+func ROnly(a *Dense) *Dense {
+	m, n := a.Dims()
+	k := m
+	if n < k {
+		k = n
+	}
+	qf := houseQR(a)
+	r := NewDense(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, qf.fac.At(i, j))
+		}
+	}
+	return r
+}
+
+// Orth returns an orthonormal basis for the range of a, dropping
+// numerically dependent columns (relative tolerance on the QRCP
+// diagonal). The result has between 0 and min(m,n) columns. A nil result
+// is never returned; a zero matrix yields a matrix with zero columns.
+func Orth(a *Dense) *Dense {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return NewDense(m, 0)
+	}
+	q, r, _ := QRCP(a)
+	// Determine numerical rank from the QRCP diagonal.
+	d0 := math.Abs(r.At(0, 0))
+	if d0 == 0 {
+		return NewDense(m, 0)
+	}
+	tol := d0 * 1e-13 * float64(max(m, n))
+	rank := 0
+	k := min(m, n)
+	for i := 0; i < k; i++ {
+		if math.Abs(r.At(i, i)) > tol {
+			rank++
+		} else {
+			break
+		}
+	}
+	return q.View(0, 0, m, rank).Clone()
+}
+
+// QRCP computes a column-pivoted (rank-revealing) QR factorization
+// a·P = q·r using the Businger–Golub algorithm with column-norm
+// downdating. perm[j] gives the index in a of the j-th column of a·P.
+// The diagonal of r is non-increasing in magnitude.
+func QRCP(a *Dense) (q, r *Dense, perm []int) {
+	m, n := a.Dims()
+	k := min(m, n)
+	f := a.Clone()
+	perm = make([]int, n)
+	for j := range perm {
+		perm[j] = j
+	}
+	tau := make([]float64, k)
+	// Column norms (squared) with saved originals for the downdating
+	// recomputation guard.
+	norms := make([]float64, n)
+	orig := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			v := f.At(i, j)
+			s += v * v
+		}
+		norms[j] = s
+		orig[j] = s
+	}
+	scratch := make([]float64, n)
+	for j := 0; j < k; j++ {
+		// Pivot: column of largest remaining norm.
+		best, bestv := j, norms[j]
+		for c := j + 1; c < n; c++ {
+			if norms[c] > bestv {
+				best, bestv = c, norms[c]
+			}
+		}
+		if best != j {
+			f.SwapCols(j, best)
+			norms[j], norms[best] = norms[best], norms[j]
+			orig[j], orig[best] = orig[best], orig[j]
+			perm[j], perm[best] = perm[best], perm[j]
+		}
+		// Reflector + trailing update (row-streaming form).
+		houseColumn(f, j, m, tau, scratch, n)
+		if tau[j] == 0 {
+			continue
+		}
+		// Downdate the remaining column norms; recompute when cancellation
+		// makes the downdated value unreliable.
+		jrow := f.Row(j)
+		for c := j + 1; c < n; c++ {
+			rv := jrow[c]
+			norms[c] -= rv * rv
+			if norms[c] < 1e-10*orig[c] || norms[c] < 0 {
+				var s float64
+				for i := j + 1; i < m; i++ {
+					v := f.Data[i*f.Stride+c]
+					s += v * v
+				}
+				norms[c] = s
+				orig[c] = s
+			}
+		}
+	}
+	qf := &qrFactor{fac: f, tau: tau}
+	r = NewDense(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, f.At(i, j))
+		}
+	}
+	q = qf.thinQ(k)
+	return q, r, perm
+}
+
+// QRCPSelect runs QRCP and returns only the permutation and the R factor;
+// it is the kernel the tournament-pivoting reduction uses at every tree
+// node, where Q is never needed.
+func QRCPSelect(a *Dense) (r *Dense, perm []int) {
+	_, r, perm = QRCP(a)
+	return r, perm
+}

@@ -1,0 +1,127 @@
+package mat
+
+import "fmt"
+
+// TSQR computes a thin QR factorization of a tall matrix partitioned
+// into row blocks, the communication-avoiding scheme of Demmel, Grigori,
+// Hoemmen and Langou that El::qr::ExplicitTS implements in the paper's
+// RandQB_EI: each block is QR-factored locally, the small R factors are
+// reduced pairwise up a binary tree, and the thin Q is reconstructed by
+// propagating the tree Q factors back down.
+//
+// blocks must all have the same column count w and at least w rows in
+// total. It returns per-block Q factors (same row counts as the inputs)
+// and the single w×w R with blocksᵀ stacked = Q·R.
+func TSQR(blocks []*Dense) (qBlocks []*Dense, r *Dense) {
+	if len(blocks) == 0 {
+		panic("mat: TSQR needs at least one block")
+	}
+	w := blocks[0].Cols
+	for i, b := range blocks {
+		if b.Cols != w {
+			panic(fmt.Sprintf("mat: TSQR block %d has %d columns, want %d", i, b.Cols, w))
+		}
+	}
+	type node struct {
+		r *Dense
+		// children of the merge (indices into the previous level), or
+		// -1 for a leaf; q is the merge's 2w×w (or w×w) Q factor.
+		left, right int
+		q           *Dense
+	}
+	// Level 0: local QRs.
+	level := make([]node, len(blocks))
+	qLocal := make([]*Dense, len(blocks))
+	for i, b := range blocks {
+		q, rr := QR(b)
+		qLocal[i] = q
+		// Pad R to w×w when the block is short (fewer rows than w).
+		if rr.Rows < w {
+			padded := NewDense(w, w)
+			padded.View(0, 0, rr.Rows, w).CopyFrom(rr)
+			rr = padded
+		}
+		level[i] = node{r: rr, left: -1, right: -1}
+	}
+	// Reduction tree.
+	var tree [][]node
+	tree = append(tree, level)
+	for len(level) > 1 {
+		var next []node
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, node{r: level[i].r, left: i, right: -1})
+				continue
+			}
+			stacked := VStack(level[i].r, level[i+1].r)
+			q, rr := QR(stacked)
+			if rr.Rows < w {
+				padded := NewDense(w, w)
+				padded.View(0, 0, rr.Rows, w).CopyFrom(rr)
+				rr = padded
+			}
+			next = append(next, node{r: rr, left: i, right: i + 1, q: q})
+		}
+		tree = append(tree, next)
+		level = next
+	}
+	r = level[0].r
+	// Back-propagation: carry the w×w transformation from the root down
+	// to each leaf; leaf i's implicit factor is the product of the tree
+	// Q slices along its path.
+	carry := make([]*Dense, len(blocks))
+	carryNext := make([]*Dense, len(blocks))
+	carry[0] = Identity(w)
+	nodesAt := func(lvl int) []node { return tree[lvl] }
+	for lvl := len(tree) - 1; lvl >= 1; lvl-- {
+		nodes := nodesAt(lvl)
+		for i := range carryNext {
+			carryNext[i] = nil
+		}
+		for i, nd := range nodes {
+			c := carry[i]
+			if c == nil {
+				continue
+			}
+			if nd.right == -1 {
+				carryNext[nd.left] = c
+				continue
+			}
+			// q is 2w×w: the top half transforms the left child, the
+			// bottom half the right child.
+			top := nd.q.View(0, 0, w, nd.q.Cols).Clone()
+			bot := nd.q.View(w, 0, nd.q.Rows-w, nd.q.Cols).Clone()
+			carryNext[nd.left] = Mul(top, c)
+			carryNext[nd.right] = Mul(bot, c)
+		}
+		copy(carry, carryNext)
+	}
+	qBlocks = make([]*Dense, len(blocks))
+	for i := range blocks {
+		c := carry[i]
+		if len(tree) == 1 {
+			c = Identity(w)
+		}
+		// Leaf Q may have fewer than w columns for short blocks; pad the
+		// carry multiplication accordingly.
+		lc := qLocal[i]
+		if lc.Cols < w {
+			padded := NewDense(lc.Rows, w)
+			padded.View(0, 0, lc.Rows, lc.Cols).CopyFrom(lc)
+			lc = padded
+		}
+		qBlocks[i] = Mul(lc, c)
+	}
+	return qBlocks, r
+}
+
+// TSQRStacked runs TSQR and returns the assembled thin Q (rows in block
+// order) alongside R — a drop-in thin-QR for tall matrices.
+func TSQRStacked(blocks []*Dense) (q, r *Dense) {
+	qb, r := TSQR(blocks)
+	q = qb[0]
+	for i := 1; i < len(qb); i++ {
+		q = VStack(q, qb[i])
+	}
+	return q, r
+}

@@ -1,0 +1,108 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func splitRows(a *Dense, parts int) []*Dense {
+	var blocks []*Dense
+	base := a.Rows / parts
+	rem := a.Rows % parts
+	row := 0
+	for p := 0; p < parts; p++ {
+		h := base
+		if p < rem {
+			h++
+		}
+		blocks = append(blocks, a.View(row, 0, h, a.Cols).Clone())
+		row += h
+	}
+	return blocks
+}
+
+func TestTSQRMatchesDirectQR(t *testing.T) {
+	for _, parts := range []int{1, 2, 3, 4, 7} {
+		a := randDense(40, 6, int64(200+parts))
+		blocks := splitRows(a, parts)
+		q, r := TSQRStacked(blocks)
+		if q.Rows != 40 || q.Cols != 6 || r.Rows != 6 || r.Cols != 6 {
+			t.Fatalf("parts=%d: bad dims Q %d×%d R %d×%d", parts, q.Rows, q.Cols, r.Rows, r.Cols)
+		}
+		if !Mul(q, r).Equal(a, 1e-10) {
+			t.Fatalf("parts=%d: TSQR reconstruction failed", parts)
+		}
+		if e := orthogonalityError(q); e > 1e-11 {
+			t.Fatalf("parts=%d: Q orthogonality loss %v", parts, e)
+		}
+		// R upper triangular.
+		for i := 1; i < 6; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("parts=%d: R not triangular", parts)
+				}
+			}
+		}
+	}
+}
+
+func TestTSQRPerBlockFactors(t *testing.T) {
+	a := randDense(30, 4, 210)
+	blocks := splitRows(a, 3)
+	qb, r := TSQR(blocks)
+	if len(qb) != 3 {
+		t.Fatalf("want 3 Q blocks, got %d", len(qb))
+	}
+	for i, b := range blocks {
+		if !Mul(qb[i], r).Equal(b, 1e-10) {
+			t.Fatalf("block %d: Qᵢ·R != Aᵢ", i)
+		}
+	}
+}
+
+func TestTSQRShortBlocks(t *testing.T) {
+	// Blocks with fewer rows than columns must still work.
+	a := randDense(10, 4, 211)
+	blocks := splitRows(a, 5) // 2 rows per block < 4 cols
+	q, r := TSQRStacked(blocks)
+	if !Mul(q, r).Equal(a, 1e-10) {
+		t.Fatal("TSQR with short blocks failed")
+	}
+}
+
+func TestTSQRProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randDense(24, 5, seed)
+		q, r := TSQRStacked(splitRows(a, 4))
+		return Mul(q, r).Equal(a, 1e-9) && orthogonalityError(q) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSQRSingleBlock(t *testing.T) {
+	a := randDense(12, 3, 212)
+	q, r := TSQRStacked([]*Dense{a.Clone()})
+	if !Mul(q, r).Equal(a, 1e-11) {
+		t.Fatal("single-block TSQR failed")
+	}
+}
+
+func TestTSQRMismatchedColumnsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TSQR([]*Dense{NewDense(4, 3), NewDense(4, 2)})
+}
+
+func TestTSQREmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TSQR(nil)
+}

@@ -1,0 +1,217 @@
+// Package randqb implements RandQB_EI (Yu, Gu, Li 2018), the randomized
+// fixed-precision QB factorization of Algorithm 1 in the paper: an
+// incremental randomized range finder with the cheap Frobenius error
+// indicator E⁽ⁱ⁾ = √(‖A‖²_F − Σ‖B_k⁽ʲ⁾‖²_F) (eq 4), optional power
+// iterations (the power scheme, p ∈ [0,3]) and re-orthogonalization.
+//
+// The factors Q_K (m×K, orthonormal columns) and B_K (K×n) are dense by
+// construction — the structural contrast with LU_CRTP's sparse factors
+// that drives the paper's accuracy-vs-cost comparison.
+package randqb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sparselr/internal/mat"
+	"sparselr/internal/sparse"
+)
+
+// IndicatorBreakdownTol is the double-precision validity limit of the
+// error indicator: Theorem 3 of Yu et al. shows eq (4) fails for
+// τ < 2.1·10⁻⁷.
+const IndicatorBreakdownTol = 2.1e-7
+
+// Options configures a RandQB_EI run.
+type Options struct {
+	BlockSize int     // k; defaults to 8
+	Tol       float64 // τ
+	Power     int     // p ∈ [0, 3]: power-scheme iterations per block
+	MaxRank   int     // cap on K; 0 means min(m, n)
+	Seed      int64   // PRNG seed for the Gaussian sketches
+	// TrackOrthLoss records ‖Q_KᵀQ_K − I‖∞ after the first and the last
+	// iteration (§VI-B reports its growth from ~1e-15..1e-14 upward).
+	TrackOrthLoss bool
+}
+
+func (o *Options) defaults() {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 8
+	}
+	if o.Power < 0 || o.Power > 3 {
+		panic(fmt.Sprintf("randqb: power parameter %d outside [0,3]", o.Power))
+	}
+}
+
+// Result holds the factorization output and telemetry.
+type Result struct {
+	Q *mat.Dense // m×K, orthonormal columns
+	B *mat.Dense // K×n
+
+	Rank  int
+	Iters int
+	NormA float64
+
+	ErrIndicator float64 // final E⁽ⁱ⁾ (eq 4)
+	Converged    bool
+	// IndicatorUnreliable is set when τ < 2.1e-7 (Theorem 3 regime).
+	IndicatorUnreliable bool
+
+	ErrHistory  []float64
+	TimeHistory []time.Duration
+
+	OrthLossFirst float64 // ‖QᵀQ−I‖∞ after iteration 1
+	OrthLossLast  float64 // ... after the final iteration
+}
+
+// Approx reconstructs the dense approximation Q_K·B_K.
+func (r *Result) Approx() *mat.Dense { return mat.Mul(r.Q, r.B) }
+
+// TrueError computes ‖A − Q_K·B_K‖_F exactly (eq 3).
+func TrueError(a *sparse.CSR, r *Result) float64 {
+	diff := a.ToDense()
+	diff.Sub(r.Approx())
+	return diff.FrobNorm()
+}
+
+// MinRank returns the smallest rank r ≤ K such that the best rank-r
+// truncation of Q_K·B_K satisfies the tolerance — the "approximated
+// minimum rank" of Figs 2–3, determined at small cost from the singular
+// values of B_K (§VI-B).
+func (r *Result) MinRank(tol float64) int {
+	if r.B.IsEmpty() {
+		return 0
+	}
+	sv := mat.SingularValues(r.B)
+	normA2 := r.NormA * r.NormA
+	captured := 0.0
+	for i, s := range sv {
+		captured += s * s
+		rem := normA2 - captured
+		if rem < 0 {
+			rem = 0
+		}
+		if math.Sqrt(rem) < tol*r.NormA {
+			return i + 1
+		}
+	}
+	return r.Rank
+}
+
+// gaussian fills an n×k sketch with standard normal entries.
+func gaussian(rng *rand.Rand, n, k int) *mat.Dense {
+	om := mat.NewDense(n, k)
+	for i := range om.Data {
+		om.Data[i] = rng.NormFloat64()
+	}
+	return om
+}
+
+// Factor runs Algorithm 1 on a.
+func Factor(a *sparse.CSR, opts Options) (*Result, error) {
+	opts.defaults()
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("randqb: empty matrix %d×%d", m, n)
+	}
+	k := opts.BlockSize
+	maxRank := opts.MaxRank
+	if maxRank <= 0 || maxRank > min(m, n) {
+		maxRank = min(m, n)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	normA := a.FrobNorm()
+	res := &Result{NormA: normA}
+	if opts.Tol > 0 && opts.Tol < IndicatorBreakdownTol {
+		res.IndicatorUnreliable = true
+	}
+	e := normA * normA // running E = ‖A‖²_F − Σ‖B_k‖²_F
+	qK := mat.NewDense(m, 0)
+	bK := mat.NewDense(0, n)
+	start := time.Now()
+
+	for iter := 1; ; iter++ {
+		if qK.Cols >= maxRank {
+			break
+		}
+		kEff := min(k, maxRank-qK.Cols)
+		// Line 4: Gaussian sketch.
+		om := gaussian(rng, n, kEff)
+		// Line 5: Q_k = orth(A·Ω − Q_K(B_K·Ω)).
+		y := a.MulDense(om)
+		if qK.Cols > 0 {
+			mat.MulSub(y, qK, mat.Mul(bK, om))
+		}
+		qk := mat.Orth(y)
+		// Lines 6–9: power scheme on (AAᵀ)ᵖ.
+		for r := 0; r < opts.Power; r++ {
+			// Q̂ = orth(AᵀQ_k − B_Kᵀ(Q_KᵀQ_k)).
+			qh := a.MulTDense(qk)
+			if qK.Cols > 0 {
+				mat.MulSub(qh, bK.T(), mat.MulT(qK, qk))
+			}
+			qhat := mat.Orth(qh)
+			// Q_k = orth(A·Q̂ − Q_K(B_K·Q̂)).
+			y2 := a.MulDense(qhat)
+			if qK.Cols > 0 {
+				mat.MulSub(y2, qK, mat.Mul(bK, qhat))
+			}
+			qk = mat.Orth(y2)
+		}
+		// Line 10: re-orthogonalization against Q_K.
+		if qK.Cols > 0 {
+			proj := mat.MulT(qK, qk)
+			mat.MulSub(qk, qK, proj)
+			qk = mat.Orth(qk)
+		}
+		if qk.Cols == 0 {
+			// The sketch found no new directions: the range is captured.
+			break
+		}
+		// Line 11: B_k = Q_kᵀ·A, computed as (Aᵀ·Q_k)ᵀ to exploit CSR.
+		bk := a.MulTDense(qk).T()
+		// Line 12: expand.
+		qK = mat.HStack(qK, qk)
+		bK = mat.VStack(bK, bk)
+		// Lines 13–14: error indicator update and test.
+		e -= bk.FrobNorm2()
+		if e < 0 {
+			e = 0
+		}
+		ind := math.Sqrt(e)
+		res.ErrHistory = append(res.ErrHistory, ind)
+		res.TimeHistory = append(res.TimeHistory, time.Since(start))
+		res.Iters = iter
+		res.ErrIndicator = ind
+		if opts.TrackOrthLoss {
+			loss := orthLoss(qK)
+			if iter == 1 {
+				res.OrthLossFirst = loss
+			}
+			res.OrthLossLast = loss
+		}
+		if ind < opts.Tol*normA {
+			res.Converged = true
+			break
+		}
+	}
+	res.Q = qK
+	res.B = bK
+	res.Rank = qK.Cols
+	return res, nil
+}
+
+func orthLoss(q *mat.Dense) float64 {
+	g := mat.MulT(q, q)
+	g.Sub(mat.Identity(q.Cols))
+	return g.InfNorm()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,222 @@
+package randubv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sparselr/internal/dist"
+	"sparselr/internal/mat"
+	"sparselr/internal/sparse"
+)
+
+// FactorDist is the distributed RandUBV the paper names as future work
+// ("these experiments still motivate the development of an efficient
+// parallel implementation of RandUBV", §VI-B). It uses a 1-D row split of
+// A: each rank computes its row block of A·V (and its partial sum of
+// Aᵀ·U); blocks are allgathered/reduced into replicated iterates, and
+// orthogonalization is charged as a TSQR. (The parallel RandQB_EI in
+// randqb goes further and keeps Q row-distributed throughout; RandUBV is
+// this library's extension, kept in the simpler replicated-iterate
+// style.) The sketch comes from the shared seed, so the distributed run
+// retraces the sequential recurrence up to floating-point reassociation.
+//
+// Kernel labels: SpMM, orth/TSQR, GEMM (reorthogonalization), Bupdate.
+func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
+	opts.defaults()
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("randubv: empty matrix %d×%d", m, n)
+	}
+	k := opts.BlockSize
+	p := c.Size()
+	maxRank := opts.MaxRank
+	if maxRank <= 0 || maxRank > min(m, n) {
+		maxRank = min(m, n)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	normA := a.FrobNorm()
+	res := &Result{NormA: normA}
+	lo, hi := rowShare(m, p, c.Rank())
+	aLoc := a.ExtractBlock(lo, hi, 0, n)
+	nnzLoc := float64(aLoc.NNZ())
+	mLoc := float64(hi - lo)
+	start := time.Now()
+
+	mulDistRows := func(x *mat.Dense) *mat.Dense {
+		w := x.Cols
+		c.Compute(2*nnzLoc*float64(w), "SpMM")
+		myY := aLoc.MulDense(x)
+		parts := c.Allgather(myY, 8*(hi-lo)*w)
+		out := parts[0].(*mat.Dense)
+		for r := 1; r < p; r++ {
+			out = mat.VStack(out, parts[r].(*mat.Dense))
+		}
+		if p == 1 {
+			out = out.Clone()
+		}
+		return out
+	}
+	mulTDist := func(x *mat.Dense, kernel string) *mat.Dense {
+		w := x.Cols
+		c.Compute(2*nnzLoc*float64(w), kernel)
+		xLoc := x.View(lo, 0, hi-lo, w).Clone()
+		my := aLoc.MulTDense(xLoc)
+		parts := c.Gather(0, my, 8*n*w)
+		var sum *mat.Dense
+		if c.Rank() == 0 {
+			sum = parts[0].(*mat.Dense).Clone()
+			for r := 1; r < p; r++ {
+				sum.Add(parts[r].(*mat.Dense))
+			}
+			c.Compute(float64(p-1)*float64(n)*float64(w), kernel)
+		}
+		return c.Bcast(0, sum, 8*n*w).(*mat.Dense).Clone()
+	}
+	chargeTSQR := func(rows float64, w int) {
+		c.Compute(2*rows/float64(p)*float64(w)*float64(w), "orth/TSQR")
+		rounds := 0
+		for s := 1; s < p; s <<= 1 {
+			rounds++
+		}
+		for r := 0; r < rounds; r++ {
+			c.Compute(4*float64(w)*float64(w)*float64(w), "orth/TSQR")
+		}
+		if rounds > 0 {
+			c.Gather(0, nil, 8*w*w)
+			c.Bcast(0, nil, 8*w*w)
+		}
+	}
+
+	e := normA * normA
+	om := mat.NewDense(n, min(k, maxRank))
+	for i := range om.Data {
+		om.Data[i] = rng.NormFloat64()
+	}
+	chargeTSQR(float64(n), om.Cols)
+	vi := mat.Orth(om)
+	if vi.Cols == 0 {
+		return nil, fmt.Errorf("randubv: degenerate initial sketch")
+	}
+	uPrev := mat.NewDense(m, 0)
+	vAll := vi.Clone()
+	uAll := mat.NewDense(m, 0)
+	type blockPair struct {
+		r      *mat.Dense
+		s      *mat.Dense
+		uw, vw int
+	}
+	var blocks []blockPair
+
+	for iter := 1; ; iter++ {
+		y := mulDistRows(vi)
+		if uPrev.Cols > 0 && len(blocks) > 0 && blocks[len(blocks)-1].s != nil {
+			c.Compute(2*mLoc*float64(uPrev.Cols)*float64(vi.Cols), "GEMM")
+			mat.MulSub(y, uPrev, blocks[len(blocks)-1].s.T())
+		}
+		chargeTSQR(float64(m), y.Cols)
+		ui, ri := mat.QR(y)
+		uw := numericalWidth(ri, normA)
+		if uw == 0 {
+			break
+		}
+		if uw < ui.Cols {
+			ui = ui.View(0, 0, m, uw).Clone()
+			ri = ri.View(0, 0, uw, ri.Cols).Clone()
+		}
+		blocks = append(blocks, blockPair{r: ri, uw: uw, vw: vi.Cols})
+		uAll = mat.HStack(uAll, ui)
+		e -= ri.FrobNorm2()
+		if e < 0 {
+			e = 0
+		}
+		ind := math.Sqrt(e)
+		res.ErrHistory = append(res.ErrHistory, ind)
+		res.TimeHistory = append(res.TimeHistory, time.Since(start))
+		res.Iters = iter
+		res.ErrIndicator = ind
+		if ind < opts.Tol*normA {
+			res.Converged = true
+			break
+		}
+		if uAll.Cols >= maxRank || vAll.Cols >= n || uAll.Cols >= m {
+			break
+		}
+		w := mulTDist(ui, "Bupdate")
+		c.Compute(2*float64(n)/float64(p)*float64(vi.Cols)*float64(ui.Cols), "GEMM")
+		mat.MulSub(w, vi, ri.View(0, 0, ri.Rows, vi.Cols).T())
+		c.Compute(4*float64(n)/float64(p)*float64(vAll.Cols)*float64(w.Cols), "GEMM")
+		proj := mat.MulT(vAll, w)
+		mat.MulSub(w, vAll, proj)
+		chargeTSQR(float64(n), w.Cols)
+		vNext, sNext := mat.QR(w)
+		vw := numericalWidth(sNext, normA)
+		if vw == 0 {
+			break
+		}
+		if vw < vNext.Cols {
+			vNext = vNext.View(0, 0, n, vw).Clone()
+			sNext = sNext.View(0, 0, vw, sNext.Cols).Clone()
+		}
+		if vAll.Cols+vw > maxRank {
+			vw = maxRank - vAll.Cols
+			if vw <= 0 {
+				break
+			}
+			vNext = vNext.View(0, 0, n, vw).Clone()
+			sNext = sNext.View(0, 0, vw, sNext.Cols).Clone()
+		}
+		blocks[len(blocks)-1].s = sNext
+		e -= sNext.FrobNorm2()
+		if e < 0 {
+			e = 0
+		}
+		vAll = mat.HStack(vAll, vNext)
+		uPrev = ui
+		vi = vNext
+		if ind := math.Sqrt(e); ind < opts.Tol*normA {
+			res.ErrIndicator = ind
+			res.ErrHistory[len(res.ErrHistory)-1] = ind
+			res.Converged = true
+			break
+		}
+	}
+
+	ku, kv := uAll.Cols, vAll.Cols
+	b := mat.NewDense(ku, kv)
+	ro, co := 0, 0
+	for _, blk := range blocks {
+		for i := 0; i < blk.r.Rows; i++ {
+			for j := 0; j < blk.r.Cols && co+j < kv; j++ {
+				b.Set(ro+i, co+j, blk.r.At(i, j))
+			}
+		}
+		if blk.s != nil {
+			st := blk.s.T()
+			for i := 0; i < st.Rows && i < blk.uw; i++ {
+				for j := 0; j < st.Cols && co+blk.vw+j < kv; j++ {
+					b.Set(ro+i, co+blk.vw+j, st.At(i, j))
+				}
+			}
+		}
+		ro += blk.uw
+		co += blk.vw
+	}
+	res.U = uAll
+	res.B = b
+	res.V = vAll
+	res.Rank = ku
+	return res, nil
+}
+
+func rowShare(rows, p, rank int) (lo, hi int) {
+	base := rows / p
+	rem := rows % p
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,100 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates matrix entries in coordinate (COO) form and
+// finalizes them into CSR. Duplicate entries are summed, matching the
+// usual finite-element assembly convention.
+type Builder struct {
+	rows, cols int
+	ri, ci     []int
+	v          []float64
+}
+
+// NewBuilder returns a COO builder for an r×c matrix.
+func NewBuilder(r, c int) *Builder {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("sparse: negative dimension %d×%d", r, c))
+	}
+	return &Builder{rows: r, cols: c}
+}
+
+// Add records the entry (i, j) += v. Zero values are recorded too (they
+// are eliminated when duplicates are combined only if the sum is zero).
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) out of range %d×%d", i, j, b.rows, b.cols))
+	}
+	b.ri = append(b.ri, i)
+	b.ci = append(b.ci, j)
+	b.v = append(b.v, v)
+}
+
+// Len returns the number of recorded (pre-deduplication) entries.
+func (b *Builder) Len() int { return len(b.v) }
+
+// ToCSR finalizes the builder into a CSR matrix: entries are sorted,
+// duplicates summed, and exact-zero sums dropped.
+func (b *Builder) ToCSR() *CSR {
+	n := len(b.v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		ix, iy := idx[x], idx[y]
+		if b.ri[ix] != b.ri[iy] {
+			return b.ri[ix] < b.ri[iy]
+		}
+		return b.ci[ix] < b.ci[iy]
+	})
+	out := NewCSR(b.rows, b.cols)
+	prevRow, prevCol := -1, -1
+	for _, k := range idx {
+		r, c, v := b.ri[k], b.ci[k], b.v[k]
+		if r == prevRow && c == prevCol {
+			out.Val[len(out.Val)-1] += v
+			continue
+		}
+		out.ColIdx = append(out.ColIdx, c)
+		out.Val = append(out.Val, v)
+		for fill := prevRow + 1; fill <= r; fill++ {
+			out.RowPtr[fill] = len(out.Val) - 1
+		}
+		prevRow, prevCol = r, c
+	}
+	for fill := prevRow + 1; fill <= b.rows; fill++ {
+		out.RowPtr[fill] = len(out.Val)
+	}
+	// Drop entries whose summed value is exactly zero.
+	return compactZeros(out)
+}
+
+// compactZeros removes stored entries equal to exactly 0.
+func compactZeros(a *CSR) *CSR {
+	hasZero := false
+	for _, v := range a.Val {
+		if v == 0 {
+			hasZero = true
+			break
+		}
+	}
+	if !hasZero {
+		return a
+	}
+	out := NewCSR(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		for k, j := range cols {
+			if vals[k] != 0 {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Val = append(out.Val, vals[k])
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket hardens the parser against malformed input: it
+// must either return an error or a structurally valid matrix — never
+// panic, never produce out-of-range indices.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 2.0\n3 1 -1.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 2\n2 3\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% comment\n\n1 1 1\n1 1 4.25e-3\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		a, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Structural validity.
+		if a.Rows <= 0 || a.Cols <= 0 {
+			t.Fatalf("accepted degenerate dims %d×%d", a.Rows, a.Cols)
+		}
+		if len(a.RowPtr) != a.Rows+1 || a.RowPtr[0] != 0 || a.RowPtr[a.Rows] != len(a.Val) {
+			t.Fatal("inconsistent row pointers")
+		}
+		for i := 0; i < a.Rows; i++ {
+			if a.RowPtr[i+1] < a.RowPtr[i] {
+				t.Fatal("row pointers not monotone")
+			}
+			cols, _ := a.RowView(i)
+			for k, c := range cols {
+				if c < 0 || c >= a.Cols {
+					t.Fatalf("column %d out of range", c)
+				}
+				if k > 0 && cols[k-1] >= c {
+					t.Fatal("columns not strictly increasing")
+				}
+			}
+		}
+		// A valid parse must round-trip.
+		var buf bytes.Buffer
+		if err := a.WriteMatrixMarket(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		b, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !b.Equal(a, 0) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}

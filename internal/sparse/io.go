@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket serializes the matrix in MatrixMarket coordinate
+// format (real, general), the interchange format of the SuiteSparse
+// collection the paper draws its test matrices from.
+func (a *CSR) WriteMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Rows, a.Cols, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		for k, j := range cols {
+			// 1-based indices per the MatrixMarket specification.
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file. Supported
+// qualifiers: real/integer/pattern values, general/symmetric/
+// skew-symmetric structure (symmetric halves are expanded).
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket banner %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: only coordinate format is supported, got %q", header[2])
+	}
+	valType := header[3]
+	switch valType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported value type %q", valType)
+	}
+	sym := header[4]
+	switch sym {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", sym)
+	}
+	// Skip comments, read the size line.
+	var m, n, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &m, &n, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("sparse: bad dimensions %d×%d", m, n)
+	}
+	b := NewBuilder(m, n)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q: %w", fields[0], err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad column index %q: %w", fields[1], err)
+		}
+		v := 1.0
+		if valType != "pattern" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q: %w", fields[2], err)
+			}
+		}
+		if i < 1 || i > m || j < 1 || j > n {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %d×%d", i, j, m, n)
+		}
+		b.Add(i-1, j-1, v)
+		if i != j {
+			switch sym {
+			case "symmetric":
+				b.Add(j-1, i-1, v)
+			case "skew-symmetric":
+				b.Add(j-1, i-1, -v)
+			}
+		}
+		read++
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.ToCSR(), nil
+}

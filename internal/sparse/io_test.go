@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randCSR(6, 9, 0.3, seed)
+		var buf bytes.Buffer
+		if err := a.WriteMatrixMarket(&buf); err != nil {
+			return false
+		}
+		b, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		return b.Equal(a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 3 4.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 2 || a.At(1, 0) != -1 || a.At(0, 1) != -1 || a.At(2, 2) != 4 {
+		t.Fatalf("symmetric expansion wrong: %v", a.ToDense())
+	}
+	if a.NNZ() != 4 {
+		t.Fatalf("nnz = %d, want 4", a.NNZ())
+	}
+}
+
+func TestReadMatrixMarketSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 0) != 3 || a.At(0, 1) != -3 {
+		t.Fatal("skew-symmetric expansion wrong")
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 2
+2 3
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != 1 || a.At(1, 2) != 1 {
+		t.Fatal("pattern values should default to 1")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad banner":   "%%NotMatrixMarket\n1 1 0\n",
+		"array format": "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"bad dims":     "%%MatrixMarket matrix coordinate real general\n0 2 0\n",
+		"short file":   "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"bad value":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
+		"complex":      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("case %q: expected an error", name)
+		}
+	}
+}
+
+func TestWriteMatrixMarketHeader(t *testing.T) {
+	a := randCSR(3, 3, 0.5, 40)
+	var buf bytes.Buffer
+	if err := a.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "%%MatrixMarket matrix coordinate real general\n") {
+		t.Fatalf("bad header: %q", buf.String()[:50])
+	}
+}

@@ -1,0 +1,559 @@
+// Package sparse implements the sparse-matrix substrate for the low-rank
+// approximation algorithms: CSR, CSC and COO storage, sparse×dense and
+// sparse×sparse products, row/column permutation, panel extraction,
+// norms, thresholding with captured perturbation matrices (the T̃ factors
+// of ILUT_CRTP), fill statistics and MatrixMarket I/O.
+//
+// It plays the role SuiteSparse and the sparse side of Elemental played in
+// the original paper's C++ implementation.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sparselr/internal/mat"
+)
+
+// CSR is a compressed sparse row matrix. Column indices within each row
+// are stored in strictly increasing order.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // length Rows+1
+	ColIdx     []int // length NNZ
+	Val        []float64
+}
+
+// NewCSR returns an empty (all-zero) r×c matrix.
+func NewCSR(r, c int) *CSR {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("sparse: negative dimension %d×%d", r, c))
+	}
+	return &CSR{Rows: r, Cols: c, RowPtr: make([]int, r+1)}
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Dims returns the matrix dimensions.
+func (a *CSR) Dims() (r, c int) { return a.Rows, a.Cols }
+
+// Density returns NNZ / (Rows·Cols), the fill measure of Fig 1.
+func (a *CSR) Density() float64 {
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / (float64(a.Rows) * float64(a.Cols))
+}
+
+// RowView returns the column indices and values of row i, aliasing the
+// underlying storage.
+func (a *CSR) RowView(i int) (cols []int, vals []float64) {
+	s, e := a.RowPtr[i], a.RowPtr[i+1]
+	return a.ColIdx[s:e], a.Val[s:e]
+}
+
+// At returns element (i, j) by binary search within the row.
+func (a *CSR) At(i, j int) float64 {
+	if i < 0 || i >= a.Rows || j < 0 || j >= a.Cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range %d×%d", i, j, a.Rows, a.Cols))
+	}
+	cols, vals := a.RowView(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (a *CSR) Clone() *CSR {
+	return &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int(nil), a.ColIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+}
+
+// ToDense expands the matrix to dense storage.
+func (a *CSR) ToDense() *mat.Dense {
+	d := mat.NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		row := d.Row(i)
+		for k, j := range cols {
+			row[j] = vals[k]
+		}
+	}
+	return d
+}
+
+// FromDense builds a CSR matrix keeping entries with |v| > tol.
+// tol = 0 keeps all exact nonzeros.
+func FromDense(d *mat.Dense, tol float64) *CSR {
+	a := NewCSR(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if math.Abs(v) > tol {
+				a.ColIdx = append(a.ColIdx, j)
+				a.Val = append(a.Val, v)
+			}
+		}
+		a.RowPtr[i+1] = len(a.Val)
+	}
+	return a
+}
+
+// FrobNorm returns the Frobenius norm.
+func (a *CSR) FrobNorm() float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range a.Val {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			ssq = 1 + ssq*(scale/av)*(scale/av)
+			scale = av
+		} else {
+			ssq += (av / scale) * (av / scale)
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// FrobNorm2 returns the squared Frobenius norm.
+func (a *CSR) FrobNorm2() float64 {
+	var s float64
+	for _, v := range a.Val {
+		s += v * v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute entry.
+func (a *CSR) MaxAbs() float64 {
+	var m float64
+	for _, v := range a.Val {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// ColNorms2 returns the squared Euclidean norm of each column.
+func (a *CSR) ColNorms2() []float64 {
+	out := make([]float64, a.Cols)
+	for k, j := range a.ColIdx {
+		out[j] += a.Val[k] * a.Val[k]
+	}
+	return out
+}
+
+// Transpose returns Aᵀ as a CSR matrix (equivalently, A reinterpreted in
+// CSC). Linear time in NNZ.
+func (a *CSR) Transpose() *CSR {
+	t := NewCSR(a.Cols, a.Rows)
+	t.ColIdx = make([]int, a.NNZ())
+	t.Val = make([]float64, a.NNZ())
+	// Count entries per column of a.
+	counts := make([]int, a.Cols)
+	for _, j := range a.ColIdx {
+		counts[j]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		t.RowPtr[j+1] = t.RowPtr[j] + counts[j]
+	}
+	next := append([]int(nil), t.RowPtr[:a.Cols]...)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		for k, j := range cols {
+			p := next[j]
+			t.ColIdx[p] = i
+			t.Val[p] = vals[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// MulDense returns A·B for dense B.
+func (a *CSR) MulDense(b *mat.Dense) *mat.Dense {
+	if a.Cols != b.Rows {
+		panic("sparse: MulDense dimension mismatch")
+	}
+	out := mat.NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		orow := out.Row(i)
+		for k, j := range cols {
+			v := vals[k]
+			brow := b.Row(j)
+			for c, bv := range brow {
+				orow[c] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulTDense returns Aᵀ·B for dense B without forming the transpose.
+func (a *CSR) MulTDense(b *mat.Dense) *mat.Dense {
+	if a.Rows != b.Rows {
+		panic("sparse: MulTDense dimension mismatch")
+	}
+	out := mat.NewDense(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		brow := b.Row(i)
+		for k, j := range cols {
+			v := vals[k]
+			orow := out.Row(j)
+			for c, bv := range brow {
+				orow[c] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns A·x.
+func (a *CSR) MulVec(x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		var s float64
+		for k, j := range cols {
+			s += vals[k] * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SpGEMM returns the sparse product A·B using Gustavson's row-merge
+// algorithm. Entries whose accumulated value is exactly zero are dropped.
+func SpGEMM(a, b *CSR) *CSR {
+	if a.Cols != b.Rows {
+		panic("sparse: SpGEMM dimension mismatch")
+	}
+	out := NewCSR(a.Rows, b.Cols)
+	// Dense accumulator (SPA) reused across rows.
+	acc := make([]float64, b.Cols)
+	mark := make([]int, b.Cols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	pattern := make([]int, 0, 64)
+	for i := 0; i < a.Rows; i++ {
+		pattern = pattern[:0]
+		acols, avals := a.RowView(i)
+		for k, j := range acols {
+			av := avals[k]
+			bcols, bvals := b.RowView(j)
+			for kk, jj := range bcols {
+				if mark[jj] != i {
+					mark[jj] = i
+					acc[jj] = 0
+					pattern = append(pattern, jj)
+				}
+				acc[jj] += av * bvals[kk]
+			}
+		}
+		sort.Ints(pattern)
+		for _, j := range pattern {
+			if acc[j] != 0 {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Val = append(out.Val, acc[j])
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+// SpGEMMFlops returns the multiply-add count Gustavson's algorithm
+// performs for A·B (Σ over stored a_ij of nnz(row j of B)), used by the
+// virtual-time cost model.
+func SpGEMMFlops(a, b *CSR) float64 {
+	if a.Cols != b.Rows {
+		panic("sparse: SpGEMMFlops dimension mismatch")
+	}
+	rowLen := make([]int, b.Rows)
+	for i := 0; i < b.Rows; i++ {
+		rowLen[i] = b.RowPtr[i+1] - b.RowPtr[i]
+	}
+	var f float64
+	for _, j := range a.ColIdx {
+		f += float64(rowLen[j])
+	}
+	return 2 * f
+}
+
+// Add returns alpha·A + beta·B. Entries that cancel exactly are dropped.
+func Add(alpha float64, a *CSR, beta float64, b *CSR) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("sparse: Add shape mismatch")
+	}
+	out := NewCSR(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.RowView(i)
+		bc, bv := b.RowView(i)
+		ka, kb := 0, 0
+		for ka < len(ac) || kb < len(bc) {
+			var j int
+			var v float64
+			switch {
+			case kb >= len(bc) || (ka < len(ac) && ac[ka] < bc[kb]):
+				j, v = ac[ka], alpha*av[ka]
+				ka++
+			case ka >= len(ac) || bc[kb] < ac[ka]:
+				j, v = bc[kb], beta*bv[kb]
+				kb++
+			default:
+				j, v = ac[ka], alpha*av[ka]+beta*bv[kb]
+				ka++
+				kb++
+			}
+			if v != 0 {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+// PermuteRows returns P·A where row i of the result is row perm[i] of A.
+func (a *CSR) PermuteRows(perm []int) *CSR {
+	if len(perm) != a.Rows {
+		panic("sparse: PermuteRows length mismatch")
+	}
+	out := NewCSR(a.Rows, a.Cols)
+	nnz := 0
+	for i, p := range perm {
+		nnz += a.RowPtr[p+1] - a.RowPtr[p]
+		out.RowPtr[i+1] = nnz
+	}
+	out.ColIdx = make([]int, nnz)
+	out.Val = make([]float64, nnz)
+	for i, p := range perm {
+		s, e := a.RowPtr[p], a.RowPtr[p+1]
+		copy(out.ColIdx[out.RowPtr[i]:out.RowPtr[i+1]], a.ColIdx[s:e])
+		copy(out.Val[out.RowPtr[i]:out.RowPtr[i+1]], a.Val[s:e])
+	}
+	return out
+}
+
+// PermuteCols returns A·P where column j of the result is column perm[j]
+// of A. Column indices within each row are re-sorted.
+func (a *CSR) PermuteCols(perm []int) *CSR {
+	if len(perm) != a.Cols {
+		panic("sparse: PermuteCols length mismatch")
+	}
+	// inv maps old column index → new position.
+	inv := make([]int, a.Cols)
+	for newj, oldj := range perm {
+		inv[oldj] = newj
+	}
+	out := a.Clone()
+	type ent struct {
+		j int
+		v float64
+	}
+	buf := make([]ent, 0, 64)
+	for i := 0; i < a.Rows; i++ {
+		s, e := out.RowPtr[i], out.RowPtr[i+1]
+		buf = buf[:0]
+		for k := s; k < e; k++ {
+			buf = append(buf, ent{inv[out.ColIdx[k]], out.Val[k]})
+		}
+		sort.Slice(buf, func(x, y int) bool { return buf[x].j < buf[y].j })
+		for k := s; k < e; k++ {
+			out.ColIdx[k] = buf[k-s].j
+			out.Val[k] = buf[k-s].v
+		}
+	}
+	return out
+}
+
+// ExtractBlock returns the submatrix with rows [r0, r1) and columns
+// [c0, c1) as a new CSR matrix.
+func (a *CSR) ExtractBlock(r0, r1, c0, c1 int) *CSR {
+	if r0 < 0 || r1 > a.Rows || c0 < 0 || c1 > a.Cols || r0 > r1 || c0 > c1 {
+		panic("sparse: ExtractBlock range out of bounds")
+	}
+	out := NewCSR(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		cols, vals := a.RowView(i)
+		// Binary search for the first column ≥ c0.
+		lo := sort.SearchInts(cols, c0)
+		for k := lo; k < len(cols) && cols[k] < c1; k++ {
+			out.ColIdx = append(out.ColIdx, cols[k]-c0)
+			out.Val = append(out.Val, vals[k])
+		}
+		out.RowPtr[i-r0+1] = len(out.Val)
+	}
+	return out
+}
+
+// ExtractColsDense gathers the given columns into a dense m×len(cols)
+// panel (the kernel feeding dense panel QR in QR_TP and LU_CRTP).
+func (a *CSR) ExtractColsDense(cols []int) *mat.Dense {
+	pos := make(map[int]int, len(cols))
+	for p, j := range cols {
+		if j < 0 || j >= a.Cols {
+			panic("sparse: ExtractColsDense column out of range")
+		}
+		pos[j] = p
+	}
+	out := mat.NewDense(a.Rows, len(cols))
+	for i := 0; i < a.Rows; i++ {
+		rcols, rvals := a.RowView(i)
+		orow := out.Row(i)
+		for k, j := range rcols {
+			if p, ok := pos[j]; ok {
+				orow[p] = rvals[k]
+			}
+		}
+	}
+	return out
+}
+
+// Threshold splits A into (kept, dropped): entries with |v| < mu move to
+// the dropped matrix (the perturbation matrix T̃ of ILUT_CRTP), everything
+// else stays in kept. mu ≤ 0 returns (A, empty).
+func (a *CSR) Threshold(mu float64) (kept, dropped *CSR) {
+	kept = NewCSR(a.Rows, a.Cols)
+	dropped = NewCSR(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		for k, j := range cols {
+			v := vals[k]
+			if math.Abs(v) < mu {
+				dropped.ColIdx = append(dropped.ColIdx, j)
+				dropped.Val = append(dropped.Val, v)
+			} else {
+				kept.ColIdx = append(kept.ColIdx, j)
+				kept.Val = append(kept.Val, v)
+			}
+		}
+		kept.RowPtr[i+1] = len(kept.Val)
+		dropped.RowPtr[i+1] = len(dropped.Val)
+	}
+	return kept, dropped
+}
+
+// ThresholdSmallest implements the "aggressive" variant of §VI-A: entries
+// with |v| < limit are sorted by magnitude and dropped smallest-first
+// until the squared-Frobenius budget is exhausted.
+func (a *CSR) ThresholdSmallest(limit, budget2 float64) (kept, dropped *CSR) {
+	type cand struct {
+		row, k int
+		abs    float64
+	}
+	var cands []cand
+	for i := 0; i < a.Rows; i++ {
+		s, e := a.RowPtr[i], a.RowPtr[i+1]
+		for k := s; k < e; k++ {
+			if av := math.Abs(a.Val[k]); av < limit {
+				cands = append(cands, cand{i, k, av})
+			}
+		}
+	}
+	sort.Slice(cands, func(x, y int) bool { return cands[x].abs < cands[y].abs })
+	drop := make(map[int]bool, len(cands))
+	var used float64
+	for _, c := range cands {
+		if used+c.abs*c.abs > budget2 {
+			break
+		}
+		used += c.abs * c.abs
+		drop[c.k] = true
+	}
+	kept = NewCSR(a.Rows, a.Cols)
+	dropped = NewCSR(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		s, e := a.RowPtr[i], a.RowPtr[i+1]
+		for k := s; k < e; k++ {
+			if drop[k] {
+				dropped.ColIdx = append(dropped.ColIdx, a.ColIdx[k])
+				dropped.Val = append(dropped.Val, a.Val[k])
+			} else {
+				kept.ColIdx = append(kept.ColIdx, a.ColIdx[k])
+				kept.Val = append(kept.Val, a.Val[k])
+			}
+		}
+		kept.RowPtr[i+1] = len(kept.Val)
+		dropped.RowPtr[i+1] = len(dropped.Val)
+	}
+	return kept, dropped
+}
+
+// VStackCSR concatenates matrices vertically. All parts must have the
+// same column count; nil or zero-row parts are skipped.
+func VStackCSR(parts ...*CSR) *CSR {
+	cols := -1
+	rows := 0
+	nnz := 0
+	for _, p := range parts {
+		if p == nil || p.Rows == 0 {
+			continue
+		}
+		if cols == -1 {
+			cols = p.Cols
+		} else if p.Cols != cols {
+			panic("sparse: VStackCSR column mismatch")
+		}
+		rows += p.Rows
+		nnz += p.NNZ()
+	}
+	if cols == -1 {
+		return NewCSR(0, 0)
+	}
+	out := NewCSR(rows, cols)
+	out.ColIdx = make([]int, 0, nnz)
+	out.Val = make([]float64, 0, nnz)
+	r := 0
+	for _, p := range parts {
+		if p == nil || p.Rows == 0 {
+			continue
+		}
+		for i := 0; i < p.Rows; i++ {
+			cs, vs := p.RowView(i)
+			out.ColIdx = append(out.ColIdx, cs...)
+			out.Val = append(out.Val, vs...)
+			out.RowPtr[r+1] = len(out.Val)
+			r++
+		}
+	}
+	return out
+}
+
+// Equal reports element-wise equality within absolute tolerance tol.
+func (a *CSR) Equal(b *CSR, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	diff := Add(1, a, -1, b)
+	for _, v := range diff.Val {
+		if math.Abs(v) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the matrix for debugging.
+func (a *CSR) String() string {
+	return fmt.Sprintf("CSR %d×%d nnz=%d density=%.4g", a.Rows, a.Cols, a.NNZ(), a.Density())
+}
