@@ -8,6 +8,7 @@ package sparselr
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"sparselr/internal/core"
@@ -221,6 +222,98 @@ func BenchmarkMethodDistLUCRTP8Ranks(b *testing.B) {
 }
 
 // --- Kernel micro-benchmarks ---
+//
+// The Kernel* benchmarks below are the perf-trajectory probes emitted to
+// BENCH_kernels.json by verify.sh. Pairs with a Serial suffix pin
+// GOMAXPROCS=1 inside the timed loop so the parallel speedup of the
+// kernel layer can be read off directly on multi-core hardware.
+
+func benchGEMMOperands(n int) (*mat.Dense, *mat.Dense) {
+	a := mat.NewDense(n, n)
+	c := mat.NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = float64((i*2654435761)%1000)/500 - 1
+		c.Data[i] = float64((i*40503)%1000)/500 - 1
+	}
+	return a, c
+}
+
+func BenchmarkKernelGEMM512(b *testing.B) {
+	x, y := benchGEMMOperands(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.Mul(x, y)
+	}
+}
+
+func BenchmarkKernelGEMM512Serial(b *testing.B) {
+	x, y := benchGEMMOperands(512)
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.Mul(x, y)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
+func BenchmarkKernelQRTall2048x256(b *testing.B) {
+	d := mat.NewDense(2048, 256)
+	for i := range d.Data {
+		d.Data[i] = float64((i*2654435761)%1000)/500 - 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.ROnly(d)
+	}
+}
+
+func BenchmarkKernelSpMMLarge(b *testing.B) {
+	a := gen.Circuit(20000, 8, 1)
+	x := mat.NewDense(20000, 64)
+	for i := range x.Data {
+		x.Data[i] = float64(i%17) - 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulDense(x)
+	}
+}
+
+func BenchmarkKernelSpMMLargeSerial(b *testing.B) {
+	a := gen.Circuit(20000, 8, 1)
+	x := mat.NewDense(20000, 64)
+	for i := range x.Data {
+		x.Data[i] = float64(i%17) - 8
+	}
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulDense(x)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
+func BenchmarkKernelSpMMT(b *testing.B) {
+	a := gen.Circuit(20000, 8, 2)
+	x := mat.NewDense(20000, 64)
+	for i := range x.Data {
+		x.Data[i] = float64(i%13) - 6
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulTDense(x)
+	}
+}
+
+func BenchmarkKernelSpGEMMLarge(b *testing.B) {
+	a := gen.Circuit(4000, 8, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.SpGEMM(a, a)
+	}
+}
 
 func BenchmarkKernelSpMM(b *testing.B) {
 	a := gen.Circuit(2000, 6, 1)

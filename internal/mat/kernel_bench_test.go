@@ -1,0 +1,81 @@
+package mat
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Blocked-vs-unblocked QR on the tall shape from the kernel-layer
+// acceptance criteria (2048×256). Both run with GOMAXPROCS=1: the blocked
+// win here is purely the BLAS-3 restructuring (panel GEMM updates instead
+// of column-at-a-time rank-1 sweeps), independent of the worker pool.
+func benchQRInput() *Dense {
+	d := NewDense(2048, 256)
+	for i := range d.Data {
+		d.Data[i] = float64((i*2654435761)%1000)/500 - 1
+	}
+	return d
+}
+
+func BenchmarkKernelHouseQRBlockedSingleThread(b *testing.B) {
+	d := benchQRInput()
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		houseQR(d)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
+func BenchmarkKernelHouseQRUnblockedSingleThread(b *testing.B) {
+	d := benchQRInput()
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		houseQRUnblocked(d)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
+// BenchmarkKernelGEMMPlainIKJ measures the pre-blocking ikj kernel (the
+// serial small-product path) on the 512³ acceptance shape — the baseline
+// the packed micro-kernel is compared against in BENCH_kernels.json.
+func BenchmarkKernelGEMMPlainIKJ512(b *testing.B) {
+	x := randDense(512, 512, 11)
+	y := randDense(512, 512, 12)
+	out := NewDense(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Zero()
+		gemmSerial(out, x, y, 1, 0, 512)
+	}
+}
+
+func BenchmarkKernelGEMMPacked512(b *testing.B) {
+	x := randDense(512, 512, 11)
+	y := randDense(512, 512, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkKernelMulT(b *testing.B) {
+	x := randDense(2048, 128, 1)
+	y := randDense(2048, 128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulT(x, y)
+	}
+}
+
+func BenchmarkKernelMulBT(b *testing.B) {
+	x := randDense(1024, 256, 3)
+	y := randDense(1024, 256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulBT(x, y)
+	}
+}

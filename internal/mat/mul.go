@@ -3,22 +3,30 @@ package mat
 import (
 	"math"
 	"runtime"
-	"sync"
 )
 
-// gemmParallelThreshold is the number of multiply-adds below which Mul
-// runs single-threaded; spawning workers for tiny products costs more
-// than it saves.
-const gemmParallelThreshold = 1 << 16
+// Tuning constants for the blocked GEMM kernel. The B panel of size
+// gemmKC×gemmNC (≤ ~0.9 MB) is packed once per (depth, column) block and
+// shared read-only by all workers; each worker then streams gemmMR rows of
+// A against the packed panel. Thresholds keep small products on the serial
+// path where parallel dispatch would cost more than it saves.
+const (
+	// gemmParallelThreshold is the number of multiply-adds below which a
+	// product runs single-threaded on the plain ikj kernel.
+	gemmParallelThreshold = 1 << 16
+	gemmKC                = 240  // depth of a packed B panel
+	gemmNC                = 512  // width of a packed B panel
+	gemmMR                = 4    // A rows per register-blocked micro-kernel step
+	gemmRowGrain          = 16   // A rows per ParallelFor chunk (multiple of gemmMR)
+)
 
-// Mul returns a·b using a cache-friendly ikj loop order, parallelized
-// over row blocks of a when the product is large enough.
+// Mul returns a·b.
 func Mul(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic("mat: Mul inner dimension mismatch")
 	}
 	out := NewDense(a.Rows, b.Cols)
-	gemmInto(out, a, b, false)
+	gemmInto(out, a, b, 1, true)
 	return out
 }
 
@@ -27,64 +35,75 @@ func MulAdd(dst, a, b *Dense) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("mat: MulAdd dimension mismatch")
 	}
-	gemmInto(dst, a, b, true)
+	gemmInto(dst, a, b, 1, true)
 }
 
-// MulSub subtracts a·b from dst (dst -= a·b).
+// MulSub subtracts a·b from dst (dst -= a·b). The sign is threaded through
+// the gemm kernel as alpha = −1, so no negated copy of a is formed.
 func MulSub(dst, a, b *Dense) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("mat: MulSub dimension mismatch")
 	}
-	neg := a.Clone()
-	neg.Scale(-1)
-	gemmInto(dst, neg, b, true)
+	gemmInto(dst, a, b, -1, true)
 }
 
-func gemmInto(dst, a, b *Dense, accumulate bool) {
-	work := a.Rows * a.Cols * b.Cols
-	nw := runtime.GOMAXPROCS(0)
-	if work < gemmParallelThreshold || nw < 2 || a.Rows < 2 {
-		gemmRows(dst, a, b, 0, a.Rows, accumulate)
+// gemmInto computes dst = (dst +) alpha·a·b. When accumulate is false dst
+// is zeroed first. alpha is folded into the packed B panel (or the A
+// element on the serial path), which is exact for alpha = ±1 — the only
+// values the library uses. Per output element the k-summation order is
+// ascending on every path, so serial and parallel results are bitwise
+// identical.
+func gemmInto(dst, a, b *Dense, alpha float64, accumulate bool) {
+	if !accumulate {
+		dst.Zero()
+	}
+	m, kk, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || n == 0 || kk == 0 || alpha == 0 {
 		return
 	}
-	if nw > a.Rows {
-		nw = a.Rows
+	// The packed path is used above the threshold even single-threaded:
+	// panel packing plus the 4-row micro-kernel beats the plain ikj loop
+	// regardless of parallelism, and ParallelFor degrades to an inline
+	// call at GOMAXPROCS=1.
+	if m*kk*n < gemmParallelThreshold {
+		gemmSerial(dst, a, b, alpha, 0, m)
+		return
 	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
+	buf := make([]float64, min(kk, gemmKC)*min(n, gemmNC))
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < kk; pc += gemmKC {
+			kc := min(gemmKC, kk-pc)
+			// Pack alpha·B[pc:pc+kc, jc:jc+nc] row-major into buf.
+			for k := 0; k < kc; k++ {
+				src := b.Row(pc + k)[jc : jc+nc]
+				pk := buf[k*nc : k*nc+nc]
+				if alpha == 1 {
+					copy(pk, src)
+				} else {
+					for j, v := range src {
+						pk[j] = alpha * v
+					}
+				}
+			}
+			ParallelFor(m, gemmRowGrain, func(lo, hi int) {
+				gemmPacked(dst, a, buf, jc, pc, kc, nc, lo, hi)
+			})
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmRows(dst, a, b, lo, hi, accumulate)
-		}(lo, hi)
 	}
-	wg.Wait()
 }
 
-// gemmRows computes rows [lo, hi) of dst = (dst +) a·b with an ikj kernel
-// that streams rows of b.
-func gemmRows(dst, a, b *Dense, lo, hi int, accumulate bool) {
+// gemmSerial computes rows [lo, hi) of dst += alpha·a·b with the plain ikj
+// kernel that streams rows of b.
+func gemmSerial(dst, a, b *Dense, alpha float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		drow := dst.Row(i)
-		if !accumulate {
-			for j := range drow {
-				drow[j] = 0
-			}
-		}
 		arow := a.Row(i)
 		for k, av := range arow {
 			if av == 0 {
 				continue
 			}
+			av *= alpha
 			brow := b.Row(k)
 			for j, bv := range brow {
 				drow[j] += av * bv
@@ -93,46 +112,154 @@ func gemmRows(dst, a, b *Dense, lo, hi int, accumulate bool) {
 	}
 }
 
-// MulT returns aᵀ·b without forming the transpose explicitly.
-func MulT(a, b *Dense) *Dense {
-	if a.Rows != b.Rows {
-		panic("mat: MulT dimension mismatch")
+// gemmPacked computes rows [lo, hi) of dst[:, jc:jc+nc] += A[:, pc:pc+kc] ·
+// panel, where panel is the packed kc×nc block of alpha·B. Four rows of A
+// are processed per pass so each packed B row is loaded once per four
+// output rows.
+func gemmPacked(dst, a *Dense, buf []float64, jc, pc, kc, nc, lo, hi int) {
+	i := lo
+	for ; i+gemmMR <= hi; i += gemmMR {
+		d0 := dst.Row(i)[jc : jc+nc]
+		d1 := dst.Row(i + 1)[jc : jc+nc]
+		d2 := dst.Row(i + 2)[jc : jc+nc]
+		d3 := dst.Row(i + 3)[jc : jc+nc]
+		a0 := a.Row(i)[pc : pc+kc]
+		a1 := a.Row(i + 1)[pc : pc+kc]
+		a2 := a.Row(i + 2)[pc : pc+kc]
+		a3 := a.Row(i + 3)[pc : pc+kc]
+		for k := 0; k < kc; k++ {
+			v0, v1, v2, v3 := a0[k], a1[k], a2[k], a3[k]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			brow := buf[k*nc : k*nc+nc]
+			for j, bv := range brow {
+				d0[j] += v0 * bv
+				d1[j] += v1 * bv
+				d2[j] += v2 * bv
+				d3[j] += v3 * bv
+			}
+		}
 	}
-	out := NewDense(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow, brow := a.Row(k), b.Row(k)
-		for i, av := range arow {
+	for ; i < hi; i++ {
+		drow := dst.Row(i)[jc : jc+nc]
+		arow := a.Row(i)[pc : pc+kc]
+		for k, av := range arow {
 			if av == 0 {
 				continue
 			}
-			drow := out.Row(i)
+			brow := buf[k*nc : k*nc+nc]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
 		}
 	}
+}
+
+// mulTParallelThreshold is the multiply-add count below which MulT runs
+// serially; mulTColGrain is the number of output columns per chunk.
+const (
+	mulTParallelThreshold = 1 << 16
+	mulTColGrain          = 16
+)
+
+// MulT returns aᵀ·b without forming the transpose explicitly. The parallel
+// path splits the columns of b (and hence of the output) across workers,
+// so every output element is accumulated in exactly the serial order and
+// results are bitwise identical to the serial path.
+func MulT(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic("mat: MulT dimension mismatch")
+	}
+	out := NewDense(a.Cols, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < mulTParallelThreshold || runtime.GOMAXPROCS(0) < 2 || b.Cols < 2*mulTColGrain {
+		mulTCols(out, a, b, 0, b.Cols)
+		return out
+	}
+	ParallelFor(b.Cols, mulTColGrain, func(lo, hi int) {
+		mulTCols(out, a, b, lo, hi)
+	})
 	return out
 }
 
-// MulBT returns a·bᵀ without forming the transpose explicitly.
+// mulTCols accumulates columns [lo, hi) of out = aᵀ·b.
+func mulTCols(out, a, b *Dense, lo, hi int) {
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)[lo:hi]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.Row(i)[lo:hi]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulBTRowGrain is the number of output rows per MulBT chunk.
+const mulBTRowGrain = 8
+
+// MulBT returns a·bᵀ without forming the transpose explicitly. The
+// parallel path splits the rows of a; each output row is written by one
+// worker with the serial dot-product order, so results are bitwise
+// identical to the serial path.
 func MulBT(a, b *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic("mat: MulBT dimension mismatch")
 	}
 	out := NewDense(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
+	work := a.Rows * a.Cols * b.Rows
+	if work < gemmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+		mulBTRows(out, a, b, 0, a.Rows)
+		return out
+	}
+	ParallelFor(a.Rows, mulBTRowGrain, func(lo, hi int) {
+		mulBTRows(out, a, b, lo, hi)
+	})
+	return out
+}
+
+// mulBTTile is the number of b rows kept hot per pass of mulBTRows: the
+// tile is re-read for every row of a in the chunk, so it stays in L2
+// instead of streaming all of b once per output row.
+const mulBTTile = 64
+
+// mulBTRows computes rows [lo, hi) of out = a·bᵀ, tiled over rows of b
+// with four independent dot products per pass. Each output element is a
+// single dot product in ascending k order, so tiling and unrolling do
+// not change any summation order.
+func mulBTRows(out, a, b *Dense, lo, hi int) {
+	for jt := 0; jt < b.Rows; jt += mulBTTile {
+		jEnd := min(jt+mulBTTile, b.Rows)
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := out.Row(i)
+			j := jt
+			for ; j+3 < jEnd; j += 4 {
+				b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+				var s0, s1, s2, s3 float64
+				for k, av := range arow {
+					s0 += av * b0[k]
+					s1 += av * b1[k]
+					s2 += av * b2[k]
+					s3 += av * b3[k]
+				}
+				drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
 			}
-			drow[j] = s
+			for ; j < jEnd; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				drow[j] = s
+			}
 		}
 	}
-	return out
 }
 
 // MulVec returns a·x for a column vector x.

@@ -1,0 +1,123 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernel worker pool. Every parallel kernel in this package (and, via
+// ParallelFor, in internal/sparse) runs on these goroutines instead of
+// spawning fresh ones per call. Workers are started lazily on the first
+// parallel region and grow on demand up to maxPoolWorkers; they then live
+// for the life of the process, parked on a channel receive, so steady-state
+// kernel dispatch costs one channel send per helper rather than a goroutine
+// spawn.
+const maxPoolWorkers = 256
+
+var kernelPool = struct {
+	mu      sync.Mutex
+	spawned int
+	tasks   chan func()
+}{tasks: make(chan func(), maxPoolWorkers)}
+
+func poolWorker() {
+	for f := range kernelPool.tasks {
+		f()
+	}
+}
+
+// ensureWorkers makes sure at least n pool workers exist.
+func ensureWorkers(n int) {
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	kernelPool.mu.Lock()
+	for kernelPool.spawned < n {
+		go poolWorker()
+		kernelPool.spawned++
+	}
+	kernelPool.mu.Unlock()
+}
+
+// ParallelFor executes fn over the index range [0, n) split into chunks of
+// size grain, using up to GOMAXPROCS goroutines (the caller plus pool
+// workers). Chunks are handed out dynamically through an atomic counter, so
+// any worker that is busy elsewhere simply contributes nothing and the
+// caller picks up the slack — the call never deadlocks and never blocks on
+// a full task queue.
+//
+// Each index is processed by exactly one goroutine and chunk boundaries
+// depend only on n, grain and GOMAXPROCS, so kernels whose chunks touch
+// disjoint output regions are bitwise deterministic. With GOMAXPROCS=1 (or
+// a single chunk) fn runs inline on the caller: the serial path.
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	maxPar := runtime.GOMAXPROCS(0)
+	if chunks < 2 || maxPar < 2 {
+		fn(0, n)
+		return
+	}
+	helpers := maxPar - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	if helpers > maxPoolWorkers {
+		helpers = maxPoolWorkers
+	}
+	ensureWorkers(helpers)
+	// The WaitGroup counts chunks, not helper tasks: a queued helper that
+	// never gets a worker claims no chunks and therefore blocks nobody,
+	// and every claimed chunk is owned by a goroutine that is actively
+	// running it.
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	work := func() {
+		for {
+			c := atomic.AddInt64(&next, 1) - 1
+			if c >= int64(chunks) {
+				return
+			}
+			lo := int(c) * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+			wg.Done()
+		}
+	}
+	for i := 0; i < helpers; i++ {
+		select {
+		case kernelPool.tasks <- work:
+		default:
+			// Queue full (heavy concurrent kernel traffic): skip this
+			// helper; the caller's work loop covers the chunks.
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// ChunkGrain returns a grain that splits n indices into at most one
+// ParallelFor chunk per available processor. Kernels that allocate one
+// accumulator per chunk and reduce them in chunk order use it to bound
+// both memory and the number of partial reductions.
+func ChunkGrain(n int) int {
+	nw := runtime.GOMAXPROCS(0)
+	if nw < 1 {
+		nw = 1
+	}
+	g := (n + nw - 1) / nw
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

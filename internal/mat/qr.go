@@ -1,28 +1,74 @@
 package mat
 
-import "math"
+import (
+	"math"
+	"runtime"
+)
+
+// Blocked-QR tuning. Panels of qrBlock columns are factored with the
+// column-at-a-time kernel, then the trailing matrix is updated with one
+// compact-WY block reflector (I − V·T·Vᵀ) applied through GEMM. Matrices
+// with fewer than qrBlockedMinK reflectors use the unblocked path, whose
+// output is bitwise identical to the pre-blocking implementation.
+const (
+	qrBlock             = 32      // panel width (WY block size)
+	qrBlockedMinK       = 48      // min(m,n) below which QR stays unblocked
+	qrRowGrain          = 64      // rows per chunk when a reflector update runs parallel
+	qrParallelThreshold = 1 << 14 // rank-1 update area below which it stays serial
+)
 
 // qrFactor holds a compact Householder QR factorization: the reflectors
 // are stored below the diagonal of fac, the upper triangle of fac is R and
-// tau holds the reflector coefficients.
+// tau holds the reflector coefficients. wy caches the per-panel compact-WY
+// (V, T) pairs, built lazily when Q is applied in blocked form.
 type qrFactor struct {
 	fac *Dense
 	tau []float64
+	wy  []wyBlock
 }
 
-// houseQR computes an in-place Householder QR of a clone of a.
-// It works for any shape; the number of reflectors is min(m, n).
-//
-// The reflector application runs in a row-major two-pass form (gather
-// s = vᵀF over rows, then the rank-one update F -= τ·v·s) so the hot
-// loops stream whole rows instead of striding down columns.
+// wyBlock is the compact-WY representation of one panel of reflectors:
+// H_j···H_{j+jb−1} = I − V·T·Vᵀ with V unit lower trapezoidal and T upper
+// triangular (Schreiber & Van Loan).
+type wyBlock struct {
+	j    int
+	v, t *Dense
+}
+
+// houseQR computes an in-place Householder QR of a clone of a. It works
+// for any shape; the number of reflectors is min(m, n). Large
+// factorizations run panel-blocked so the trailing update is GEMM.
 func houseQR(a *Dense) *qrFactor {
 	m, n := a.Dims()
-	f := a.Clone()
-	k := m
-	if n < k {
-		k = n
+	k := min(m, n)
+	if k < qrBlockedMinK {
+		return houseQRUnblocked(a)
 	}
+	f := a.Clone()
+	tau := make([]float64, k)
+	s := make([]float64, n)
+	for j := 0; j < k; j += qrBlock {
+		jb := min(qrBlock, k-j)
+		// Factor the panel; trailing updates confined to its jb columns.
+		for jj := j; jj < j+jb; jj++ {
+			houseColumn(f, jj, m, tau, s, j+jb)
+		}
+		if j+jb < n {
+			// Apply (I − V·T·Vᵀ)ᵀ to the trailing columns via GEMM.
+			v := buildV(f, j, jb)
+			t := buildT(v, tau[j:j+jb])
+			applyWY(f.View(j, j+jb, m-j, n-(j+jb)), v, t, true)
+		}
+	}
+	return &qrFactor{fac: f, tau: tau}
+}
+
+// houseQRUnblocked is the column-at-a-time reference path, used for small
+// factorizations and by the equivalence tests and benchmarks.
+func houseQRUnblocked(a *Dense) *qrFactor {
+	m, n := a.Dims()
+	f := a.Clone()
+	k := min(m, n)
 	tau := make([]float64, k)
 	s := make([]float64, n)
 	for j := 0; j < k; j++ {
@@ -31,8 +77,123 @@ func houseQR(a *Dense) *qrFactor {
 	return &qrFactor{fac: f, tau: tau}
 }
 
+// buildV materializes the unit lower-trapezoidal reflector block V for the
+// panel starting at column j: V is (m−j)×jb with ones on the diagonal, the
+// stored reflector entries below it and zeros above.
+func buildV(f *Dense, j, jb int) *Dense {
+	m := f.Rows
+	v := NewDense(m-j, jb)
+	for c := 0; c < jb && c < v.Rows; c++ {
+		v.Data[c*v.Stride+c] = 1
+		for i := c + 1; i < v.Rows; i++ {
+			v.Data[i*v.Stride+c] = f.Data[(j+i)*f.Stride+(j+c)]
+		}
+	}
+	return v
+}
+
+// buildT forms the jb×jb upper-triangular T of the compact-WY
+// representation from V and the reflector coefficients (LAPACK dlarft,
+// forward columnwise): T[0:c,c] = −τ_c·T[0:c,0:c]·(V[:,0:c]ᵀ·v_c).
+func buildT(v *Dense, tau []float64) *Dense {
+	jb := len(tau)
+	t := NewDense(jb, jb)
+	w := make([]float64, jb)
+	for c := 0; c < jb; c++ {
+		tc := tau[c]
+		if c > 0 && tc != 0 {
+			for r := 0; r < c; r++ {
+				w[r] = 0
+			}
+			// v_c is zero above its diagonal entry, so start at row c.
+			for i := c; i < v.Rows; i++ {
+				vic := v.Data[i*v.Stride+c]
+				if vic == 0 {
+					continue
+				}
+				row := v.Row(i)
+				for r := 0; r < c; r++ {
+					w[r] += row[r] * vic
+				}
+			}
+			for r := 0; r < c; r++ {
+				var sum float64
+				trow := t.Row(r)
+				for u := r; u < c; u++ {
+					sum += trow[u] * w[u]
+				}
+				t.Data[r*t.Stride+c] = -tc * sum
+			}
+		}
+		t.Data[c*t.Stride+c] = tc
+	}
+	return t
+}
+
+// applyWY applies the block reflector to c in place: c := (I − V·T·Vᵀ)·c,
+// or with Tᵀ when trans is true (the Qᵀ direction used by factorization
+// trailing updates). All three products run on the parallel GEMM kernels.
+func applyWY(c, v, t *Dense, trans bool) {
+	if c.Rows == 0 || c.Cols == 0 {
+		return
+	}
+	w := MulT(v, c) // jb×w = Vᵀ·c
+	if trans {
+		triMulTrans(t, w)
+	} else {
+		triMul(t, w)
+	}
+	MulSub(c, v, w) // c -= V·w
+}
+
+// triMul computes w := t·w in place for upper-triangular t.
+func triMul(t, w *Dense) {
+	for r := 0; r < t.Rows; r++ {
+		wr := w.Row(r)
+		trow := t.Row(r)
+		d := trow[r]
+		for c := range wr {
+			wr[c] *= d
+		}
+		for u := r + 1; u < t.Rows; u++ {
+			tv := trow[u]
+			if tv == 0 {
+				continue
+			}
+			wu := w.Row(u)
+			for c := range wr {
+				wr[c] += tv * wu[c]
+			}
+		}
+	}
+}
+
+// triMulTrans computes w := tᵀ·w in place for upper-triangular t.
+func triMulTrans(t, w *Dense) {
+	for r := t.Rows - 1; r >= 0; r-- {
+		wr := w.Row(r)
+		d := t.Data[r*t.Stride+r]
+		for c := range wr {
+			wr[c] *= d
+		}
+		for u := 0; u < r; u++ {
+			tv := t.Data[u*t.Stride+r]
+			if tv == 0 {
+				continue
+			}
+			wu := w.Row(u)
+			for c := range wr {
+				wr[c] += tv * wu[c]
+			}
+		}
+	}
+}
+
 // houseColumn forms the reflector for column j and applies it to the
-// trailing submatrix using the scratch buffer s.
+// trailing submatrix up to column n using the scratch buffer s. The
+// rank-1 update (pass 2) runs row-parallel when the trailing area is
+// large; each row is updated independently from the serially-gathered s,
+// so the result is bitwise identical to the serial path.
 func houseColumn(f *Dense, j, m int, tau, s []float64, n int) {
 	st := f.Stride
 	d := f.Data
@@ -63,6 +224,8 @@ func houseColumn(f *Dense, j, m int, tau, s []float64, n int) {
 		return
 	}
 	// Pass 1: s[c] = (vᵀ F)(c) for trailing columns, streaming rows.
+	// Kept serial so the summation order (and thus every downstream pivot
+	// decision in QRCP) is independent of GOMAXPROCS.
 	jrow := d[j*st : j*st+n]
 	copy(s[j+1:n], jrow[j+1:n])
 	for i := j + 1; i < m; i++ {
@@ -83,7 +246,20 @@ func houseColumn(f *Dense, j, m int, tau, s []float64, n int) {
 	for c := j + 1; c < n; c++ {
 		jrow[c] -= s[c]
 	}
-	for i := j + 1; i < m; i++ {
+	rows, width := m-(j+1), n-(j+1)
+	if rows*width >= qrParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
+		ParallelFor(rows, qrRowGrain, func(lo, hi int) {
+			houseUpdateRows(d, st, j, s, j+1+lo, j+1+hi, n)
+		})
+		return
+	}
+	houseUpdateRows(d, st, j, s, j+1, m, n)
+}
+
+// houseUpdateRows applies rows [lo, hi) of the rank-1 update F -= v·s for
+// the reflector in column j.
+func houseUpdateRows(d []float64, st, j int, s []float64, lo, hi, n int) {
+	for i := lo; i < hi; i++ {
 		vi := d[i*st+j]
 		if vi == 0 {
 			continue
@@ -96,7 +272,8 @@ func houseColumn(f *Dense, j, m int, tau, s []float64, n int) {
 }
 
 // applyReflector applies (I − τ·v·vᵀ) for reflector j to b in place,
-// using the same row-streaming two-pass form as houseColumn.
+// using the same row-streaming two-pass form as houseColumn. Pass 2 runs
+// row-parallel for large updates (bitwise identical to serial).
 func (qf *qrFactor) applyReflector(b *Dense, j int, s []float64) {
 	t := qf.tau[j]
 	if t == 0 {
@@ -126,28 +303,63 @@ func (qf *qrFactor) applyReflector(b *Dense, j int, s []float64) {
 	for c := 0; c < w; c++ {
 		jrow[c] -= s[c]
 	}
-	for i := j + 1; i < m; i++ {
-		vi := fd[i*fst+j]
-		if vi == 0 {
-			continue
-		}
-		row := b.Row(i)
-		for c := 0; c < w; c++ {
-			row[c] -= s[c] * vi
+	update := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vi := fd[i*fst+j]
+			if vi == 0 {
+				continue
+			}
+			row := b.Row(i)
+			for c := 0; c < w; c++ {
+				row[c] -= s[c] * vi
+			}
 		}
 	}
+	rows := m - (j + 1)
+	if rows*w >= qrParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
+		ParallelFor(rows, qrRowGrain, func(lo, hi int) {
+			update(j+1+lo, j+1+hi)
+		})
+		return
+	}
+	update(j+1, m)
+}
+
+// wyBlocks returns (building lazily) the compact-WY representation of the
+// factorization's reflectors, grouped into panels of qrBlock.
+func (qf *qrFactor) wyBlocks() []wyBlock {
+	if qf.wy == nil {
+		k := len(qf.tau)
+		for j := 0; j < k; j += qrBlock {
+			jb := min(qrBlock, k-j)
+			v := buildV(qf.fac, j, jb)
+			t := buildT(v, qf.tau[j:j+jb])
+			qf.wy = append(qf.wy, wyBlock{j: j, v: v, t: t})
+		}
+	}
+	return qf.wy
 }
 
 // applyQ computes Q·b in place, where Q is the (full, m×m) orthogonal
-// factor represented by qf.
+// factor represented by qf. Large factorizations apply the reflectors
+// panel-at-a-time in compact-WY form (GEMM); small ones reflector-by-
+// reflector, matching the pre-blocking implementation bitwise.
 func (qf *qrFactor) applyQ(b *Dense) {
 	if b.Rows != qf.fac.Rows {
 		panic("mat: applyQ dimension mismatch")
 	}
-	s := make([]float64, b.Cols)
-	// Q = H_1 H_2 ... H_k, so Q·b applies reflectors in reverse order.
-	for j := len(qf.tau) - 1; j >= 0; j-- {
-		qf.applyReflector(b, j, s)
+	if len(qf.tau) < qrBlockedMinK {
+		s := make([]float64, b.Cols)
+		// Q = H_1 H_2 ... H_k, so Q·b applies reflectors in reverse order.
+		for j := len(qf.tau) - 1; j >= 0; j-- {
+			qf.applyReflector(b, j, s)
+		}
+		return
+	}
+	blocks := qf.wyBlocks()
+	for p := len(blocks) - 1; p >= 0; p-- {
+		blk := blocks[p]
+		applyWY(b.View(blk.j, 0, b.Rows-blk.j, b.Cols), blk.v, blk.t, false)
 	}
 }
 
@@ -156,9 +368,17 @@ func (qf *qrFactor) applyQT(b *Dense) {
 	if b.Rows != qf.fac.Rows {
 		panic("mat: applyQT dimension mismatch")
 	}
-	s := make([]float64, b.Cols)
-	for j := 0; j < len(qf.tau); j++ {
-		qf.applyReflector(b, j, s)
+	if len(qf.tau) < qrBlockedMinK {
+		s := make([]float64, b.Cols)
+		for j := 0; j < len(qf.tau); j++ {
+			qf.applyReflector(b, j, s)
+		}
+		return
+	}
+	blocks := qf.wyBlocks()
+	for p := 0; p < len(blocks); p++ {
+		blk := blocks[p]
+		applyWY(b.View(blk.j, 0, b.Rows-blk.j, b.Cols), blk.v, blk.t, true)
 	}
 }
 
@@ -243,6 +463,10 @@ func Orth(a *Dense) *Dense {
 // a·P = q·r using the Businger–Golub algorithm with column-norm
 // downdating. perm[j] gives the index in a of the j-th column of a·P.
 // The diagonal of r is non-increasing in magnitude.
+//
+// The pivot sequence is computed with serial reductions, so it is
+// independent of GOMAXPROCS; only the trailing-matrix rank-1 updates and
+// the final Q formation use the parallel kernels.
 func QRCP(a *Dense) (q, r *Dense, perm []int) {
 	m, n := a.Dims()
 	k := min(m, n)

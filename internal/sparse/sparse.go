@@ -11,6 +11,7 @@ package sparse
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"sparselr/internal/mat"
@@ -182,13 +183,37 @@ func (a *CSR) Transpose() *CSR {
 	return t
 }
 
-// MulDense returns A·B for dense B.
+// Parallel thresholds for the sparse kernels: products whose multiply-add
+// count (nnz × dense width, or the Gustavson flop count for SpGEMM) falls
+// below these stay on the serial path.
+const (
+	spmmParallelThreshold   = 1 << 15
+	spmmRowGrain            = 64
+	spgemmParallelThreshold = 1 << 16
+)
+
+// MulDense returns A·B for dense B. Large products run row-parallel on
+// the shared kernel pool; every output row is written by exactly one
+// worker in the serial accumulation order, so the result is bitwise
+// identical to the serial path.
 func (a *CSR) MulDense(b *mat.Dense) *mat.Dense {
 	if a.Cols != b.Rows {
 		panic("sparse: MulDense dimension mismatch")
 	}
 	out := mat.NewDense(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
+	if a.NNZ()*b.Cols < spmmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+		a.mulDenseRows(out, b, 0, a.Rows)
+		return out
+	}
+	mat.ParallelFor(a.Rows, spmmRowGrain, func(lo, hi int) {
+		a.mulDenseRows(out, b, lo, hi)
+	})
+	return out
+}
+
+// mulDenseRows accumulates rows [lo, hi) of out = A·B.
+func (a *CSR) mulDenseRows(out, b *mat.Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		cols, vals := a.RowView(i)
 		orow := out.Row(i)
 		for k, j := range cols {
@@ -199,16 +224,42 @@ func (a *CSR) MulDense(b *mat.Dense) *mat.Dense {
 			}
 		}
 	}
-	return out
 }
 
 // MulTDense returns Aᵀ·B for dense B without forming the transpose.
+// The scatter pattern (row i of A touches arbitrary output rows) makes a
+// direct row split race, so the parallel path gives each worker chunk a
+// private accumulator and sums them in ascending chunk order: results are
+// deterministic for a fixed GOMAXPROCS and match the serial path within
+// rounding (≤1e-12 relative Frobenius error; the reduction order is
+// grouped by chunk rather than fully serial).
 func (a *CSR) MulTDense(b *mat.Dense) *mat.Dense {
 	if a.Rows != b.Rows {
 		panic("sparse: MulTDense dimension mismatch")
 	}
 	out := mat.NewDense(a.Cols, b.Cols)
-	for i := 0; i < a.Rows; i++ {
+	if a.NNZ()*b.Cols < spmmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+		a.mulTDenseRows(out, b, 0, a.Rows)
+		return out
+	}
+	grain := mat.ChunkGrain(a.Rows)
+	nchunks := (a.Rows + grain - 1) / grain
+	partials := make([]*mat.Dense, nchunks)
+	mat.ParallelFor(a.Rows, grain, func(lo, hi int) {
+		p := mat.NewDense(a.Cols, b.Cols)
+		a.mulTDenseRows(p, b, lo, hi)
+		partials[lo/grain] = p
+	})
+	for _, p := range partials {
+		out.Add(p)
+	}
+	return out
+}
+
+// mulTDenseRows accumulates the contribution of A's rows [lo, hi) to
+// out = Aᵀ·B.
+func (a *CSR) mulTDenseRows(out, b *mat.Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		cols, vals := a.RowView(i)
 		brow := b.Row(i)
 		for k, j := range cols {
@@ -219,7 +270,6 @@ func (a *CSR) MulTDense(b *mat.Dense) *mat.Dense {
 			}
 		}
 	}
-	return out
 }
 
 // MulVec returns A·x.
@@ -241,10 +291,89 @@ func (a *CSR) MulVec(x []float64) []float64 {
 
 // SpGEMM returns the sparse product A·B using Gustavson's row-merge
 // algorithm. Entries whose accumulated value is exactly zero are dropped.
+// Large products run row-parallel: each worker chunk owns a contiguous
+// row range with a private sparse accumulator, and the per-chunk results
+// are concatenated in row order. Every output row is computed with
+// exactly the serial per-row merge order, so the parallel result is
+// bitwise identical to the serial one.
 func SpGEMM(a, b *CSR) *CSR {
 	if a.Cols != b.Rows {
 		panic("sparse: SpGEMM dimension mismatch")
 	}
+	if runtime.GOMAXPROCS(0) < 2 || SpGEMMFlops(a, b) < spgemmParallelThreshold {
+		return spGEMMSerial(a, b)
+	}
+	grain := mat.ChunkGrain(a.Rows)
+	nchunks := (a.Rows + grain - 1) / grain
+	type chunkOut struct {
+		colIdx []int
+		val    []float64
+		rowNNZ []int
+	}
+	results := make([]chunkOut, nchunks)
+	mat.ParallelFor(a.Rows, grain, func(lo, hi int) {
+		co := chunkOut{rowNNZ: make([]int, hi-lo)}
+		acc := make([]float64, b.Cols)
+		mark := make([]int, b.Cols)
+		for i := range mark {
+			mark[i] = -1
+		}
+		pattern := make([]int, 0, 64)
+		for i := lo; i < hi; i++ {
+			pattern = spGEMMRow(a, b, i, acc, mark, pattern[:0])
+			n0 := len(co.val)
+			for _, j := range pattern {
+				if acc[j] != 0 {
+					co.colIdx = append(co.colIdx, j)
+					co.val = append(co.val, acc[j])
+				}
+			}
+			co.rowNNZ[i-lo] = len(co.val) - n0
+		}
+		results[lo/grain] = co
+	})
+	out := NewCSR(a.Rows, b.Cols)
+	total := 0
+	for _, co := range results {
+		total += len(co.val)
+	}
+	out.ColIdx = make([]int, 0, total)
+	out.Val = make([]float64, 0, total)
+	row := 0
+	for _, co := range results {
+		out.ColIdx = append(out.ColIdx, co.colIdx...)
+		out.Val = append(out.Val, co.val...)
+		for _, nnz := range co.rowNNZ {
+			out.RowPtr[row+1] = out.RowPtr[row] + nnz
+			row++
+		}
+	}
+	return out
+}
+
+// spGEMMRow merges row i of A·B into the sparse accumulator (acc, mark)
+// and returns the (sorted) pattern of touched columns.
+func spGEMMRow(a, b *CSR, i int, acc []float64, mark []int, pattern []int) []int {
+	acols, avals := a.RowView(i)
+	for k, j := range acols {
+		av := avals[k]
+		bcols, bvals := b.RowView(j)
+		for kk, jj := range bcols {
+			if mark[jj] != i {
+				mark[jj] = i
+				acc[jj] = 0
+				pattern = append(pattern, jj)
+			}
+			acc[jj] += av * bvals[kk]
+		}
+	}
+	sort.Ints(pattern)
+	return pattern
+}
+
+// spGEMMSerial is the single-threaded Gustavson product, also the
+// reference for the parallel-equivalence tests.
+func spGEMMSerial(a, b *CSR) *CSR {
 	out := NewCSR(a.Rows, b.Cols)
 	// Dense accumulator (SPA) reused across rows.
 	acc := make([]float64, b.Cols)
@@ -254,21 +383,7 @@ func SpGEMM(a, b *CSR) *CSR {
 	}
 	pattern := make([]int, 0, 64)
 	for i := 0; i < a.Rows; i++ {
-		pattern = pattern[:0]
-		acols, avals := a.RowView(i)
-		for k, j := range acols {
-			av := avals[k]
-			bcols, bvals := b.RowView(j)
-			for kk, jj := range bcols {
-				if mark[jj] != i {
-					mark[jj] = i
-					acc[jj] = 0
-					pattern = append(pattern, jj)
-				}
-				acc[jj] += av * bvals[kk]
-			}
-		}
-		sort.Ints(pattern)
+		pattern = spGEMMRow(a, b, i, acc, mark, pattern[:0])
 		for _, j := range pattern {
 			if acc[j] != 0 {
 				out.ColIdx = append(out.ColIdx, j)

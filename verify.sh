@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Repo verification gate. Runs, in order:
+#   1. go vet ./...
+#   2. go build ./...
+#   3. go test ./...           (tier-1)
+#   4. go test -race over the packages with parallel kernels
+#   5. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
+#
+# Environment knobs:
+#   SKIP_BENCH=1    skip step 5
+#   BENCHTIME=...   per-benchmark budget for step 5 (default 200ms)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (kernel packages)"
+go test -race ./internal/mat ./internal/sparse ./internal/dist
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+    echo "== kernel micro-benchmarks"
+    out=$(go test -run '^$' -bench '^BenchmarkKernel' -benchtime "${BENCHTIME:-200ms}" . ./internal/mat | grep -E '^Benchmark')
+    echo "$out"
+    echo "$out" | awk '
+        BEGIN { print "{"; first = 1 }
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            sub(/^Benchmark/, "", name)
+            if (!first) printf ",\n"
+            first = 0
+            printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s}", name, $2, $3
+        }
+        END { print "\n}" }
+    ' > BENCH_kernels.json
+    echo "wrote BENCH_kernels.json"
+fi
+
+echo "verify.sh: OK"
