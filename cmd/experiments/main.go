@@ -9,6 +9,7 @@
 //	experiments -run all -scale small
 //	experiments -run table2 -scale medium -matrices M2,M5
 //	experiments -run fig1left -suite 197
+//	experiments -run fig4 -breakdown -tracedir traces/
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 		suite    = flag.Int("suite", 0, "SJSU suite size for fig1left (0 = scale default)")
 		sweep    = flag.Bool("sweep", false, "Table II: grid-search (np, k) per matrix like the paper")
 		fig1tol  = flag.Float64("fig1tol", 1e-6, "fig1left tolerance (paper sweeps 1e-3, 1e-6, 1e-9)")
+		brk      = flag.Bool("breakdown", false, "figs 4-6: print the trace-derived compute/comm/wait split and critical path per run")
+		traceDir = flag.String("tracedir", "", "figs 4-6: export each distributed run as Chrome trace_event JSON into this directory")
 	)
 	flag.Parse()
 
@@ -50,6 +53,7 @@ func main() {
 	cfg := experiments.Config{
 		Scale: sc, Out: os.Stdout, Seed: *seed,
 		MaxProcs: *maxProcs, SuiteSize: *suite, SweepBest: *sweep,
+		Breakdown: *brk, TraceDir: *traceDir,
 	}
 	if *matrices != "" {
 		cfg.Matrices = strings.Split(*matrices, ",")

@@ -11,6 +11,7 @@
 //	lowrank -matrix M2 -method ILUT_CRTP -tol 1e-3 -k 16
 //	lowrank -matrix M5 -scale medium -method RandQB_EI -power 1 -np 8
 //	lowrank -matrix data/my.mtx -method LU_CRTP -tol 1e-2
+//	lowrank -matrix M2 -np 8 -breakdown -trace run.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"sparselr/internal/core"
+	"sparselr/internal/dist"
 	"sparselr/internal/gen"
 	"sparselr/internal/sparse"
 )
@@ -37,6 +39,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "PRNG seed")
 		maxRank = flag.Int("maxrank", 0, "rank cap (0 = min(m,n))")
 		verify  = flag.Bool("verify", true, "evaluate the exact error ‖A−Â‖_F as a cross-check")
+		brk     = flag.Bool("breakdown", false, "np>1: trace the run and print per-rank time splits, collective histograms and the critical path")
+		traceF  = flag.String("trace", "", "np>1: write the run's Chrome trace_event JSON to this file (implies tracing)")
 	)
 	flag.Parse()
 
@@ -53,10 +57,18 @@ func main() {
 	r, c := a.Dims()
 	fmt.Printf("matrix %s: %d×%d, nnz=%d, density=%.4g\n", name, r, c, a.NNZ(), a.Density())
 
-	ap, err := core.Approximate(a, core.Options{
+	opts := core.Options{
 		Method: m, BlockSize: *k, Tol: *tol, Power: *power,
 		Seed: *seed, Procs: *np, MaxRank: *maxRank,
-	})
+	}
+	var tr *dist.Trace
+	if *np > 1 && (*brk || *traceF != "") {
+		tr = dist.NewTrace()
+		dcfg := dist.DefaultConfig()
+		dcfg.Tracer = tr
+		opts.DistConfig = &dcfg
+	}
+	ap, err := core.Approximate(a, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lowrank:", err)
 		os.Exit(1)
@@ -78,11 +90,66 @@ func main() {
 		for _, n := range names {
 			fmt.Printf("  kernel %-20s %.6g s\n", n, ap.KernelTimes[n])
 		}
+		if *brk && ap.Dist != nil {
+			printDistBreakdown(ap.Dist, tr)
+		}
+		if *traceF != "" && tr != nil {
+			if err := writeTrace(*traceF, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "lowrank: trace export:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace         %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n", *traceF, tr.Len())
+		}
 	}
 	if *verify {
 		te := ap.TrueError(a)
 		fmt.Printf("true error    %.6g  (%.4g × τ‖A‖_F)\n", te, te/(*tol*ap.NormA))
 	}
+}
+
+// printDistBreakdown renders the per-rank time accounting, the
+// per-collective-kind histograms and the trace-derived critical-path
+// report of a distributed run.
+func printDistBreakdown(res *dist.Result, tr *dist.Trace) {
+	fmt.Println("per-rank virtual-time breakdown:")
+	fmt.Printf("  %-5s %12s %12s %12s %12s %12s %8s %10s %8s %10s\n",
+		"rank", "total", "compute", "latency", "bandwidth", "wait", "msgs>", "bytes>", "msgs<", "bytes<")
+	for _, s := range res.Ranks {
+		fmt.Printf("  %-5d %12.6g %12.6g %12.6g %12.6g %12.6g %8d %10d %8d %10d\n",
+			s.Rank, s.Time, s.ComputeTime, s.LatencyTime, s.BandwidthTime, s.WaitTime,
+			s.MsgsSent, s.BytesSent, s.MsgsRecv, s.BytesRecv)
+	}
+	if names := res.CollectiveNames(); len(names) > 0 {
+		fmt.Println("collective histogram (summed over ranks):")
+		fmt.Printf("  %-12s %8s %8s %12s %12s\n", "kind", "calls", "msgs", "bytes", "time")
+		for _, name := range names {
+			var agg dist.CollectiveStats
+			for _, s := range res.Ranks {
+				cs := s.Collectives[name]
+				agg.Calls += cs.Calls
+				agg.Msgs += cs.Msgs
+				agg.Bytes += cs.Bytes
+				agg.Time += cs.Time
+			}
+			fmt.Printf("  %-12s %8d %8d %12d %12.6g\n", name, agg.Calls, agg.Msgs, agg.Bytes, agg.Time)
+		}
+	}
+	if tr != nil {
+		fmt.Println(tr.CriticalPath().Report())
+	}
+}
+
+// writeTrace exports the recorded events as Chrome trace_event JSON.
+func writeTrace(path string, tr *dist.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadMatrix(spec, scale string) (*sparse.CSR, string, error) {

@@ -149,6 +149,11 @@ type Approximation struct {
 	VirtualTime float64
 	CommTime    float64
 	KernelTimes map[string]float64
+	// Dist holds the full per-rank virtual-time statistics of a
+	// distributed run (nil for sequential runs). To additionally record
+	// an event trace, attach a dist.Tracer (e.g. dist.NewTrace()) to
+	// Options.DistConfig.Tracer before calling Approximate.
+	Dist *dist.Result
 
 	LU   *lucrtp.Result
 	QB   *randqb.Result
@@ -403,6 +408,7 @@ func approximateDist(a *sparse.CSR, opts Options) (*Approximation, error) {
 		return nil, innerErr
 	}
 	ap.WallTime = time.Since(start)
+	ap.Dist = res
 	ap.VirtualTime = res.MaxTime()
 	ap.KernelTimes = map[string]float64{}
 	for _, name := range res.KernelNames() {

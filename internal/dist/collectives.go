@@ -18,15 +18,20 @@ const (
 // entered. Clocks converge to at least the maximum entry time plus the
 // tree traversal cost.
 func (c *Comm) Barrier() {
+	top := c.beginCollective("Barrier")
 	// Reduce an empty payload to rank 0, then broadcast it back.
 	c.reduceTree(0, tagBarrier, nil, 0, nil)
 	c.bcastTree(0, tagBarrier, nil, 0)
+	c.endCollective(top)
 }
 
 // Bcast distributes root's data to every rank and returns it. bytes is
 // the payload size for the cost model; non-root ranks may pass nil data.
 func (c *Comm) Bcast(root int, data interface{}, bytes int) interface{} {
-	return c.bcastTree(root, tagBcast, data, bytes)
+	top := c.beginCollective("Bcast")
+	out := c.bcastTree(root, tagBcast, data, bytes)
+	c.endCollective(top)
+	return out
 }
 
 // bcastTree implements a binomial broadcast. Ranks are renumbered so the
@@ -75,7 +80,10 @@ type ReduceFunc func(a, b interface{}) interface{}
 // Reduce combines payloads from all ranks at the root using a binomial
 // tree; non-root ranks return nil.
 func (c *Comm) Reduce(root int, data interface{}, bytes int, combine ReduceFunc) interface{} {
-	return c.reduceTree(root, tagReduce, data, bytes, combine)
+	top := c.beginCollective("Reduce")
+	out := c.reduceTree(root, tagReduce, data, bytes, combine)
+	c.endCollective(top)
+	return out
 }
 
 func (c *Comm) reduceTree(root, tag int, data interface{}, bytes int, combine ReduceFunc) interface{} {
@@ -133,6 +141,8 @@ func (c *Comm) ReduceSum(root int, x []float64) []float64 {
 // AllreduceSum element-wise sums float64 slices across all ranks and
 // returns the result everywhere.
 func (c *Comm) AllreduceSum(x []float64) []float64 {
+	top := c.beginCollective("Allreduce")
+	defer c.endCollective(top)
 	s := c.ReduceSum(0, x)
 	res := c.Bcast(0, s, 8*len(x))
 	return res.([]float64)
@@ -140,6 +150,8 @@ func (c *Comm) AllreduceSum(x []float64) []float64 {
 
 // AllreduceMax returns the maximum of one scalar across all ranks.
 func (c *Comm) AllreduceMax(x float64) float64 {
+	top := c.beginCollective("Allreduce")
+	defer c.endCollective(top)
 	out := c.Reduce(0, []float64{x}, 8, func(a, b interface{}) interface{} {
 		av := a.([]float64)
 		bv := b.([]float64)
@@ -155,6 +167,8 @@ func (c *Comm) AllreduceMax(x float64) float64 {
 // Gather collects every rank's payload at the root in rank order;
 // non-root ranks return nil.
 func (c *Comm) Gather(root int, data interface{}, bytes int) []interface{} {
+	top := c.beginCollective("Gather")
+	defer c.endCollective(top)
 	p := c.Size()
 	if c.rank != root {
 		c.Send(root, tagGather, data, bytes)
@@ -173,6 +187,8 @@ func (c *Comm) Gather(root int, data interface{}, bytes int) []interface{} {
 
 // Allgather collects every rank's payload everywhere, in rank order.
 func (c *Comm) Allgather(data interface{}, bytes int) []interface{} {
+	top := c.beginCollective("Allgather")
+	defer c.endCollective(top)
 	parts := c.Gather(0, data, bytes)
 	total := bytes * c.Size()
 	res := c.Bcast(0, parts, total)
@@ -182,6 +198,8 @@ func (c *Comm) Allgather(data interface{}, bytes int) []interface{} {
 // Scatter sends parts[r] to each rank r from the root and returns this
 // rank's part. bytesEach is the per-part payload size.
 func (c *Comm) Scatter(root int, parts []interface{}, bytesEach int) interface{} {
+	top := c.beginCollective("Scatter")
+	defer c.endCollective(top)
 	p := c.Size()
 	if c.rank == root {
 		if len(parts) != p {

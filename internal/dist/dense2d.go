@@ -39,7 +39,10 @@ func (g *Grid) rankAt(i, j int) int { return i*g.pc + j }
 
 // rowBcast broadcasts data from the rank at grid column rootCol within
 // this rank's grid row; every rank of the row returns the payload.
+// Traces and per-rank histograms see it as a "RowBcast" collective.
 func (g *Grid) rowBcast(rootCol int, data interface{}, bytes int, tag int) interface{} {
+	top := g.c.beginCollective("RowBcast")
+	defer g.c.endCollective(top)
 	me := g.Col()
 	if me == rootCol {
 		for j := 0; j < g.pc; j++ {
@@ -53,8 +56,10 @@ func (g *Grid) rowBcast(rootCol int, data interface{}, bytes int, tag int) inter
 }
 
 // colBcast broadcasts data from the rank at grid row rootRow within this
-// rank's grid column.
+// rank's grid column; a "ColBcast" collective in traces and histograms.
 func (g *Grid) colBcast(rootRow int, data interface{}, bytes int, tag int) interface{} {
+	top := g.c.beginCollective("ColBcast")
+	defer g.c.endCollective(top)
 	me := g.Row()
 	if me == rootRow {
 		for i := 0; i < g.pr; i++ {
@@ -176,6 +181,9 @@ func SUMMA(a, b *DistDense) *DistDense {
 		segs = append(segs, s)
 	}
 	sortInts(segs)
+	if g.c.Tracing() {
+		g.c.Annotate(fmt.Sprintf("SUMMA %dx%dx%d", a.M, a.N, b.N))
+	}
 	const tagA, tagB = 601, 602
 	for si := 0; si+1 < len(segs); si++ {
 		s0, s1 := segs[si], segs[si+1]

@@ -1,15 +1,3 @@
-// Package dist is the distributed-memory substrate standing in for MPI in
-// the paper's parallel implementations. It runs P ranks as goroutines in
-// an SPMD style with point-to-point messages and tree-based collectives,
-// and tracks a deterministic per-rank virtual clock: compute advances a
-// rank's clock by flops·Gamma, communication by Alpha + Beta·bytes with
-// max-propagation across message edges (the classic α–β/LogP model).
-//
-// Because the host has a single CPU core, real wall-clock speedup cannot
-// be observed; the virtual clock is what the strong-scaling and kernel-
-// breakdown experiments (Figs 4–6) report. The data movement itself is
-// real: ranks exchange actual matrix blocks through channels, so the
-// distributed algorithms are executed, not emulated.
 package dist
 
 import (
@@ -17,11 +5,18 @@ import (
 	"sync"
 )
 
-// Config holds the performance-model parameters.
+// Config holds the performance-model parameters and optional tracing
+// sink. The three scalars define the α–β–γ cost model specified in
+// DESIGN.md §4c.
 type Config struct {
 	Alpha float64 // message latency, seconds
 	Beta  float64 // seconds per byte transferred
 	Gamma float64 // seconds per floating-point operation
+
+	// Tracer, when non-nil, receives one Event per virtual-clock
+	// advance on every rank. A nil Tracer (the default) is free: no
+	// events are constructed and no tracing state is allocated.
+	Tracer Tracer
 }
 
 // DefaultConfig models a commodity cluster node: ~1 µs MPI latency,
@@ -79,17 +74,42 @@ type World struct {
 	boxes []*mailbox
 }
 
+// pairKey indexes per-(peer, tag) message sequence counters.
+type pairKey struct{ peer, tag int }
+
 // Comm is one rank's handle into the world. It is not safe for use from
 // multiple goroutines; each rank owns exactly one.
 type Comm struct {
-	world    *World
-	rank     int
-	clock    float64
-	commT    float64
+	world  *World
+	rank   int
+	tracer Tracer
+
+	clock float64
+	commT float64 // latency + bandwidth + wait
+	compT float64 // Compute/Elapse time
+	latT  float64 // α terms
+	bwT   float64 // β·bytes terms
+	waitT float64 // max-propagation idle inside Recv
+
 	kernels  map[string]float64
 	korder   []string
 	msgsOut  int
 	bytesOut int
+	msgsIn   int
+	bytesIn  int
+
+	colls     map[string]*CollectiveStats
+	collOrder []string
+	collName  string  // innermost-entered top-level collective
+	collDepth int     // nesting depth (Allreduce calls Reduce+Bcast)
+	collStart float64 // clock at top-level entry
+	collMsgs  int
+	collBytes int
+
+	// Message sequence counters for trace flow-edge matching; allocated
+	// lazily and only when a tracer is attached.
+	sendSeq map[pairKey]int
+	recvSeq map[pairKey]int
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -110,9 +130,17 @@ func (c *Comm) Compute(flops float64, kernel string) {
 	if flops < 0 {
 		panic("dist: negative flop count")
 	}
+	start := c.clock
 	dt := flops * c.world.cfg.Gamma
 	c.clock += dt
+	c.compT += dt
 	c.addKernel(kernel, dt)
+	if c.tracer != nil && dt > 0 {
+		c.tracer.TraceEvent(Event{
+			Rank: c.rank, Kind: EvCompute, Name: computeName(kernel),
+			Start: start, End: c.clock, Flops: flops, Peer: -1,
+		})
+	}
 }
 
 // Elapse advances the virtual clock by dt seconds directly.
@@ -120,8 +148,39 @@ func (c *Comm) Elapse(dt float64, kernel string) {
 	if dt < 0 {
 		panic("dist: negative elapsed time")
 	}
+	start := c.clock
 	c.clock += dt
+	c.compT += dt
 	c.addKernel(kernel, dt)
+	if c.tracer != nil && dt > 0 {
+		c.tracer.TraceEvent(Event{
+			Rank: c.rank, Kind: EvCompute, Name: computeName(kernel),
+			Start: start, End: c.clock, Peer: -1,
+		})
+	}
+}
+
+func computeName(kernel string) string {
+	if kernel == "" {
+		return "compute"
+	}
+	return kernel
+}
+
+// Tracing reports whether a Tracer is attached. Callers building marker
+// strings should guard on it so a disabled trace costs nothing.
+func (c *Comm) Tracing() bool { return c.tracer != nil }
+
+// Annotate emits an instant marker event (phase boundaries, iteration
+// starts) into the trace. It costs no virtual time and is a no-op when
+// tracing is disabled.
+func (c *Comm) Annotate(name string) {
+	if c.tracer != nil {
+		c.tracer.TraceEvent(Event{
+			Rank: c.rank, Kind: EvMark, Name: name,
+			Start: c.clock, End: c.clock, Peer: -1,
+		})
+	}
 }
 
 func (c *Comm) addKernel(kernel string, dt float64) {
@@ -132,6 +191,25 @@ func (c *Comm) addKernel(kernel string, dt float64) {
 		c.korder = append(c.korder, kernel)
 	}
 	c.kernels[kernel] += dt
+}
+
+// p2pName labels a point-to-point trace event: messages issued inside a
+// collective carry the collective's name.
+func (c *Comm) p2pName(fallback string) string {
+	if c.collDepth > 0 && c.collName != "" {
+		return c.collName
+	}
+	return fallback
+}
+
+func nextSeq(m *map[pairKey]int, peer, tag int) int {
+	if *m == nil {
+		*m = map[pairKey]int{}
+	}
+	k := pairKey{peer, tag}
+	s := (*m)[k]
+	(*m)[k] = s + 1
+	return s
 }
 
 // Send transmits data to rank dst with a matching tag. bytes is the
@@ -145,8 +223,21 @@ func (c *Comm) Send(dst, tag int, data interface{}, bytes int) {
 	dt := c.world.cfg.Alpha + c.world.cfg.Beta*float64(bytes)
 	c.clock += dt
 	c.commT += dt
+	c.latT += c.world.cfg.Alpha
+	c.bwT += c.world.cfg.Beta * float64(bytes)
 	c.msgsOut++
 	c.bytesOut += bytes
+	if c.collDepth > 0 {
+		c.collMsgs++
+		c.collBytes += bytes
+	}
+	if c.tracer != nil {
+		c.tracer.TraceEvent(Event{
+			Rank: c.rank, Kind: EvSend, Name: c.p2pName("send"),
+			Start: start, End: c.clock, Bytes: bytes,
+			Peer: dst, Tag: tag, Seq: nextSeq(&c.sendSeq, dst, tag),
+		})
+	}
 	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, bytes: bytes, sendStart: start})
 }
 
@@ -163,12 +254,31 @@ func (c *Comm) recvFull(src, tag int) message {
 	}
 	m := c.world.boxes[c.rank].get(src, tag)
 	before := c.clock
+	var wait float64
 	if m.sendStart > c.clock {
+		wait = m.sendStart - c.clock
 		c.clock = m.sendStart
 	}
 	dt := c.world.cfg.Alpha + c.world.cfg.Beta*float64(m.bytes)
 	c.clock += dt
 	c.commT += c.clock - before
+	c.latT += c.world.cfg.Alpha
+	c.bwT += c.world.cfg.Beta * float64(m.bytes)
+	c.waitT += wait
+	c.msgsIn++
+	c.bytesIn += m.bytes
+	if c.collDepth > 0 {
+		c.collMsgs++
+		c.collBytes += m.bytes
+	}
+	if c.tracer != nil {
+		c.tracer.TraceEvent(Event{
+			Rank: c.rank, Kind: EvRecv, Name: c.p2pName("recv"),
+			Start: before, End: c.clock, Bytes: m.bytes,
+			Peer: src, Tag: tag, Seq: nextSeq(&c.recvSeq, src, tag),
+			SrcStart: m.sendStart, Waited: wait,
+		})
+	}
 	return m
 }
 
@@ -178,15 +288,79 @@ func (c *Comm) SendFloats(dst, tag int, x []float64) { c.Send(dst, tag, x, 8*len
 // RecvFloats receives a float64 slice.
 func (c *Comm) RecvFloats(src, tag int) []float64 { return c.Recv(src, tag).([]float64) }
 
-// Stats summarizes one rank's virtual-time accounting after a run.
+// beginCollective enters a named collective region. It returns true for
+// the outermost entry; nested collectives (Allreduce's internal Reduce
+// and Bcast) keep the outer attribution.
+func (c *Comm) beginCollective(name string) bool {
+	c.collDepth++
+	if c.collDepth > 1 {
+		return false
+	}
+	c.collName = name
+	c.collStart = c.clock
+	c.collMsgs = 0
+	c.collBytes = 0
+	return true
+}
+
+// endCollective leaves a collective region; top must be beginCollective's
+// return value. The outermost exit records the call into the per-kind
+// histogram and emits the collective span event.
+func (c *Comm) endCollective(top bool) {
+	c.collDepth--
+	if !top {
+		return
+	}
+	st, ok := c.colls[c.collName]
+	if !ok {
+		st = &CollectiveStats{}
+		c.colls[c.collName] = st
+		c.collOrder = append(c.collOrder, c.collName)
+	}
+	st.Calls++
+	st.Msgs += c.collMsgs
+	st.Bytes += c.collBytes
+	st.Time += c.clock - c.collStart
+	if c.tracer != nil {
+		c.tracer.TraceEvent(Event{
+			Rank: c.rank, Kind: EvCollective, Name: c.collName,
+			Start: c.collStart, End: c.clock, Bytes: c.collBytes, Peer: -1,
+		})
+	}
+	c.collName = ""
+}
+
+// CollectiveStats is one rank's histogram bucket for one collective kind.
+type CollectiveStats struct {
+	Calls int     // completed collective calls
+	Msgs  int     // point-to-point message halves inside them (sends + recvs)
+	Bytes int     // payload bytes moved through this rank inside them
+	Time  float64 // virtual seconds this rank spent inside them
+}
+
+// Stats summarizes one rank's virtual-time accounting after a run. The
+// four time components satisfy
+// Time ≈ ComputeTime + LatencyTime + BandwidthTime + WaitTime
+// to floating-point roundoff.
 type Stats struct {
-	Rank      int
-	Time      float64            // total virtual time
-	CommTime  float64            // part of Time spent in communication
-	Kernels   map[string]float64 // per-kernel compute attribution
-	KOrder    []string           // kernel names in first-use order
-	MsgsSent  int                // point-to-point messages originated
-	BytesSent int                // payload bytes originated
+	Rank          int
+	Time          float64 // total virtual time
+	CommTime      float64 // part of Time spent communicating (latency+bandwidth+wait)
+	ComputeTime   float64 // part of Time from Compute/Elapse
+	LatencyTime   float64 // Σ α over message halves
+	BandwidthTime float64 // Σ β·bytes over message halves
+	WaitTime      float64 // max-propagation idle waiting for senders
+
+	Kernels map[string]float64 // per-kernel compute attribution
+	KOrder  []string           // kernel names in first-use order
+
+	MsgsSent  int // point-to-point messages originated
+	BytesSent int // payload bytes originated
+	MsgsRecv  int // point-to-point messages received
+	BytesRecv int // payload bytes received
+
+	Collectives map[string]CollectiveStats // per-collective-kind histogram
+	CollOrder   []string                   // collective kinds in first-use order
 }
 
 // Result aggregates per-rank stats of a completed SPMD run.
@@ -204,6 +378,18 @@ func (r *Result) MaxTime() float64 {
 		}
 	}
 	return m
+}
+
+// MakespanRank returns the rank whose virtual clock bounds the modeled
+// runtime (lowest id on ties).
+func (r *Result) MakespanRank() int {
+	best, bt := 0, -1.0
+	for _, s := range r.Ranks {
+		if s.Time > bt {
+			best, bt = s.Rank, s.Time
+		}
+	}
+	return best
 }
 
 // MaxKernel returns the maximum over ranks of the time attributed to the
@@ -234,6 +420,22 @@ func (r *Result) KernelNames() []string {
 	return names
 }
 
+// CollectiveNames returns the union of collective kinds across ranks, in
+// rank-0 first-use order followed by any extras.
+func (r *Result) CollectiveNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range r.Ranks {
+		for _, k := range s.CollOrder {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	return names
+}
+
 // Run executes body on p ranks and returns the per-rank virtual-time
 // statistics. It blocks until every rank returns. Panics in rank bodies
 // propagate to the caller.
@@ -247,7 +449,11 @@ func Run(p int, cfg Config, body func(*Comm)) *Result {
 	}
 	comms := make([]*Comm, p)
 	for i := range comms {
-		comms[i] = &Comm{world: w, rank: i, kernels: map[string]float64{}}
+		comms[i] = &Comm{
+			world: w, rank: i, tracer: cfg.Tracer,
+			kernels: map[string]float64{},
+			colls:   map[string]*CollectiveStats{},
+		}
 	}
 	var wg sync.WaitGroup
 	panics := make([]interface{}, p)
@@ -271,10 +477,18 @@ func Run(p int, cfg Config, body func(*Comm)) *Result {
 	}
 	res := &Result{Ranks: make([]Stats, p)}
 	for i, c := range comms {
+		colls := make(map[string]CollectiveStats, len(c.colls))
+		for name, st := range c.colls {
+			colls[name] = *st
+		}
 		res.Ranks[i] = Stats{
 			Rank: i, Time: c.clock, CommTime: c.commT,
+			ComputeTime: c.compT, LatencyTime: c.latT,
+			BandwidthTime: c.bwT, WaitTime: c.waitT,
 			Kernels: c.kernels, KOrder: c.korder,
 			MsgsSent: c.msgsOut, BytesSent: c.bytesOut,
+			MsgsRecv: c.msgsIn, BytesRecv: c.bytesIn,
+			Collectives: colls, CollOrder: c.collOrder,
 		}
 	}
 	return res

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparselr/internal/gen"
+)
+
+func fig4TestConfig(out *bytes.Buffer) Config {
+	return Config{
+		Scale: gen.Small, Out: out, Seed: 1,
+		Matrices: []string{"M2"}, MaxProcs: 4,
+	}
+}
+
+func TestFig4BreakdownAndTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	cfg := fig4TestConfig(&buf)
+	cfg.Breakdown = true
+	cfg.TraceDir = dir
+	series := RunFig4(cfg)
+	if len(series) == 0 {
+		t.Fatal("no scaling series produced")
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, "breakdown rank") {
+		t.Fatalf("breakdown lines missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "critical path rank") {
+		t.Fatalf("critical-path report missing from output:\n%s", out)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "fig4_M2_*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no trace files exported (err=%v)", err)
+	}
+	// Every exported file must be a valid trace_event JSON object with
+	// well-formed events.
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parsed struct {
+			TraceEvents []map[string]interface{} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &parsed); err != nil {
+			t.Fatalf("%s: invalid trace JSON: %v", f, err)
+		}
+		if len(parsed.TraceEvents) == 0 {
+			t.Fatalf("%s: empty trace", f)
+		}
+		for i, e := range parsed.TraceEvents {
+			if _, ok := e["ph"].(string); !ok {
+				t.Fatalf("%s event %d: missing phase", f, i)
+			}
+			if _, ok := e["name"].(string); !ok {
+				t.Fatalf("%s event %d: missing name", f, i)
+			}
+		}
+	}
+}
+
+func TestFig4TracingDoesNotChangeVirtualClocks(t *testing.T) {
+	var plainOut, tracedOut bytes.Buffer
+	plainCfg := fig4TestConfig(&plainOut)
+	plain := RunFig4(plainCfg)
+
+	tracedCfg := fig4TestConfig(&tracedOut)
+	tracedCfg.Breakdown = true
+	traced := RunFig4(tracedCfg)
+
+	if len(plain) != len(traced) {
+		t.Fatalf("series count changed under tracing: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		for j := range plain[i].Times {
+			if plain[i].Times[j] != traced[i].Times[j] {
+				t.Fatalf("series %s/%s np=%d: virtual time changed under tracing: %v vs %v",
+					plain[i].Label, plain[i].Method, plain[i].Procs[j],
+					plain[i].Times[j], traced[i].Times[j])
+			}
+		}
+	}
+}
+
+func TestFig5BreakdownOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Scale: gen.Small, Out: &buf, Seed: 1,
+		Matrices: []string{"M2"}, MaxProcs: 2, Breakdown: true,
+	}
+	if got := RunFig5(cfg); len(got) == 0 {
+		t.Fatal("no breakdowns produced")
+	}
+	if !strings.Contains(buf.String(), "breakdown rank") {
+		t.Fatalf("fig5 breakdown lines missing:\n%s", buf.String())
+	}
+}

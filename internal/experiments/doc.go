@@ -1,0 +1,20 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§VI). Each runner builds the scaled synthetic
+// workload, executes the methods with the paper's parameterization, and
+// prints rows/series in the layout of the original table or figure while
+// returning structured data for the test and benchmark harnesses.
+//
+// Absolute runtimes cannot match the paper (its numbers come from up to
+// 4096 MPI ranks on VSC4); the runners reproduce the *shape* of each
+// result: who wins, by roughly what factor, and where the crossovers
+// fall. EXPERIMENTS.md records measured-vs-paper for every experiment.
+//
+// The parallel drivers (Fig 4 strong scaling, Figs 5–6 kernel
+// breakdowns) support trace-backed observability on top of the printed
+// series: Config.Breakdown attaches a dist.Trace to every distributed
+// run and prints the per-configuration compute/comm/wait split and the
+// critical-path bound derived from the recorded events, and
+// Config.TraceDir exports each run as Chrome trace_event JSON for
+// chrome://tracing / Perfetto. Both are reachable from cmd/experiments
+// via -breakdown and -tracedir.
+package experiments

@@ -1,13 +1,3 @@
-// Package experiments contains one runner per table and figure of the
-// paper's evaluation (§VI). Each runner builds the scaled synthetic
-// workload, executes the methods with the paper's parameterization, and
-// prints rows/series in the layout of the original table or figure while
-// returning structured data for the test and benchmark harnesses.
-//
-// Absolute runtimes cannot match the paper (its numbers come from up to
-// 4096 MPI ranks on VSC4); the runners reproduce the *shape* of each
-// result: who wins, by roughly what factor, and where the crossovers
-// fall. EXPERIMENTS.md records measured-vs-paper for every experiment.
 package experiments
 
 import (
@@ -35,7 +25,19 @@ type Config struct {
 	// small grid search at its tightest tolerance before the table rows
 	// are produced. Considerably slower.
 	SweepBest bool
+	// Breakdown attaches an event tracer to every distributed run of
+	// the Fig 4–6 drivers and prints, per configuration, the
+	// compute/comm/wait split and critical-path bound derived from the
+	// recorded trace (instead of the runtime's aggregate counters).
+	Breakdown bool
+	// TraceDir, when non-empty, additionally exports each traced run as
+	// Chrome trace_event JSON (fig4_M2_LU_CRTP_np8.json, ...) loadable
+	// in chrome://tracing or Perfetto.
+	TraceDir string
 }
+
+// tracing reports whether the Fig 4–6 drivers should attach a tracer.
+func (c *Config) tracing() bool { return c.Breakdown || c.TraceDir != "" }
 
 func (c *Config) out() io.Writer {
 	if c.Out == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sparselr/internal/core"
+	"sparselr/internal/dist"
 )
 
 // ScalingSeries is one method's strong-scaling curve on one matrix.
@@ -51,16 +52,31 @@ func RunFig4(cfg Config) []ScalingSeries {
 			}
 			for _, method := range []core.Method{core.RandQBEI, core.LUCRTP, core.ILUTCRTP} {
 				series := ScalingSeries{Label: m.Label, Method: method.String(), Procs: procs}
+				var extra []string // per-np trace breakdown lines
 				for _, np := range procs {
-					ap, err := core.Approximate(m.A, core.Options{
+					opts := core.Options{
 						Method: method, BlockSize: k, Tol: st.tol, Power: 1,
 						Seed: cfg.Seed + 5, Procs: np, EstIters: p.EstIter,
-					})
+					}
+					var tr *dist.Trace
+					if cfg.tracing() {
+						opts.DistConfig, tr = tracedDistConfig()
+					}
+					ap, err := core.Approximate(m.A, opts)
 					if err != nil || !ap.Converged {
 						series.Times = append(series.Times, 0)
 						continue
 					}
 					series.Times = append(series.Times, ap.VirtualTime)
+					if tr != nil {
+						if cfg.Breakdown {
+							extra = append(extra, traceBreakdownLine(np, tr))
+						}
+						if cfg.TraceDir != "" {
+							writeTraceFile(w, cfg.TraceDir,
+								fmt.Sprintf("fig4_%s_%s_np%d.json", m.Label, series.Method, np), tr)
+						}
+					}
 				}
 				base := 0.0
 				for _, t := range series.Times {
@@ -82,6 +98,9 @@ func RunFig4(cfg Config) []ScalingSeries {
 					fmt.Fprintf(w, " np%d=%.2fx", np, series.Speedup[i])
 				}
 				fmt.Fprintln(w)
+				for _, line := range extra {
+					fmt.Fprintln(w, line)
+				}
 			}
 		}
 		_ = matched

@@ -3,9 +3,16 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"sparselr/internal/core"
+	"sparselr/internal/dist"
 )
+
+// figPrefix turns a runner title ("Fig 5") into a file prefix ("fig5").
+func figPrefix(title string) string {
+	return strings.ReplaceAll(strings.ToLower(title), " ", "")
+}
 
 // KernelBreakdown is one bar of Figs 5–6: the per-kernel modeled time of
 // one (method, np, k) configuration, max across ranks.
@@ -54,10 +61,15 @@ func runKernelBreakdown(cfg Config, title string, methods []core.Method, powers 
 						if method != core.RandQBEI && pw != 0 {
 							continue
 						}
-						ap, err := core.Approximate(m.A, core.Options{
+						opts := core.Options{
 							Method: method, BlockSize: k, Tol: 1e-3, Power: pw,
 							Seed: cfg.Seed + 6, Procs: np, EstIters: base.EstIter,
-						})
+						}
+						var tr *dist.Trace
+						if cfg.tracing() {
+							opts.DistConfig, tr = tracedDistConfig()
+						}
+						ap, err := core.Approximate(m.A, opts)
 						kb := KernelBreakdown{
 							Method: method.String(), Label: m.Label, NP: np, K: k, Power: pw,
 						}
@@ -68,6 +80,15 @@ func runKernelBreakdown(cfg Config, title string, methods []core.Method, powers 
 						}
 						out = append(out, kb)
 						printBreakdown(w, kb)
+						if tr != nil && kb.OK {
+							if cfg.Breakdown {
+								fmt.Fprintln(w, traceBreakdownLine(np, tr))
+							}
+							if cfg.TraceDir != "" {
+								writeTraceFile(w, cfg.TraceDir, fmt.Sprintf("%s_%s_np%d_k%d_p%d.json",
+									figPrefix(title), kb.Method, np, k, pw), tr)
+							}
+						}
 					}
 				}
 			}

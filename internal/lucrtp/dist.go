@@ -64,6 +64,9 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	thresholdOn := opts.Threshold != NoThreshold
 
 	for iter := 1; ; iter++ {
+		if c.Tracing() {
+			c.Annotate(fmt.Sprintf("LU_CRTP iter %d", iter))
+		}
 		mcur, ncur := acur.Dims()
 		keff := min(k, min(mcur, ncur), maxRank-z)
 		if keff <= 0 {

@@ -14,10 +14,10 @@ const (
 	// gemmParallelThreshold is the number of multiply-adds below which a
 	// product runs single-threaded on the plain ikj kernel.
 	gemmParallelThreshold = 1 << 16
-	gemmKC                = 240  // depth of a packed B panel
-	gemmNC                = 512  // width of a packed B panel
-	gemmMR                = 4    // A rows per register-blocked micro-kernel step
-	gemmRowGrain          = 16   // A rows per ParallelFor chunk (multiple of gemmMR)
+	gemmKC                = 240 // depth of a packed B panel
+	gemmNC                = 512 // width of a packed B panel
+	gemmMR                = 4   // A rows per register-blocked micro-kernel step
+	gemmRowGrain          = 16  // A rows per ParallelFor chunk (multiple of gemmMR)
 )
 
 // Mul returns a·b.

@@ -190,6 +190,9 @@ func SelectColumnsDistLabeled(c *dist.Comm, a *sparse.CSC, myCols []int, k int, 
 		tagPanel   = 102
 	)
 	p := c.Size()
+	if c.Tracing() {
+		c.Annotate(label + " tournament")
+	}
 	// Local round (communication-free): tournament over the owned
 	// columns using leaves of 2k.
 	local := localTournament(c, a, myCols, k, label+"/local")

@@ -99,6 +99,9 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	}
 
 	for iter := 1; ; iter++ {
+		if c.Tracing() {
+			c.Annotate(fmt.Sprintf("RandQB iter %d", iter))
+		}
 		kNow := bK.Rows
 		if kNow >= maxRank {
 			break

@@ -110,6 +110,9 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	var blocks []blockPair
 
 	for iter := 1; ; iter++ {
+		if c.Tracing() {
+			c.Annotate(fmt.Sprintf("RandUBV iter %d", iter))
+		}
 		y := mulDistRows(vi)
 		if uPrev.Cols > 0 && len(blocks) > 0 && blocks[len(blocks)-1].s != nil {
 			c.Compute(2*mLoc*float64(uPrev.Cols)*float64(vi.Cols), "GEMM")

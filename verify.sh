@@ -4,11 +4,13 @@
 #   2. go build ./...
 #   3. go test ./...           (tier-1)
 #   4. go test -race over the packages with parallel kernels
-#   5. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
+#   5. doc-link check: relative links in *.md must resolve
+#   6. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
+#   7. dist collective micro-benchmarks (traced vs untraced) -> BENCH_dist.json
 #
 # Environment knobs:
-#   SKIP_BENCH=1    skip step 5
-#   BENCHTIME=...   per-benchmark budget for step 5 (default 200ms)
+#   SKIP_BENCH=1    skip steps 6-7
+#   BENCHTIME=...   per-benchmark budget for steps 6-7 (default 200ms)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -23,6 +25,29 @@ go test ./...
 
 echo "== go test -race (kernel packages)"
 go test -race ./internal/mat ./internal/sparse ./internal/dist
+
+echo "== doc-link check (*.md relative links)"
+bad=0
+while IFS=: read -r file link; do
+    # Strip any #anchor and URL-style artifacts.
+    target="${link%%#*}"
+    [[ -z "$target" ]] && continue
+    case "$target" in
+        http://*|https://*|mailto:*) continue ;;
+    esac
+    if [[ ! -e "$(dirname "$file")/$target" ]]; then
+        echo "dead link in $file: $link"
+        bad=1
+    fi
+done < <(grep -RIno --include='*.md' -oE '\]\([^)]+\)' . 2>/dev/null \
+          | grep -v '^\./\.git/' \
+          | sed -E 's/^([^:]+):[0-9]+:\]\(([^)]*)\)/\1:\2/' \
+          | sort -u)
+if [[ "$bad" != "0" ]]; then
+    echo "verify.sh: dead doc links"
+    exit 1
+fi
+echo "doc links OK"
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "== kernel micro-benchmarks"
@@ -41,6 +66,23 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
         END { print "\n}" }
     ' > BENCH_kernels.json
     echo "wrote BENCH_kernels.json"
+
+    echo "== dist collective micro-benchmarks (traced vs untraced)"
+    out=$(go test -run '^$' -bench '^BenchmarkDist' -benchtime "${BENCHTIME:-200ms}" ./internal/dist | grep -E '^Benchmark')
+    echo "$out"
+    echo "$out" | awk '
+        BEGIN { print "{"; first = 1 }
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            sub(/^Benchmark/, "", name)
+            if (!first) printf ",\n"
+            first = 0
+            printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s}", name, $2, $3
+        }
+        END { print "\n}" }
+    ' > BENCH_dist.json
+    echo "wrote BENCH_dist.json"
 fi
 
 echo "verify.sh: OK"
