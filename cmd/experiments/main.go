@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "table1|table2|fig1left|fig1right|fig2|fig3|fig4|fig5|fig6|all")
+		run      = flag.String("run", "all", "table1|table2|fig1left|fig1right|fig2|fig3|fig4|fig5|fig6|chaos|all")
 		scale    = flag.String("scale", "small", "small|medium|large")
 		matrices = flag.String("matrices", "", "comma-separated Table I labels (empty = all)")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
@@ -35,6 +35,7 @@ func main() {
 		fig1tol  = flag.Float64("fig1tol", 1e-6, "fig1left tolerance (paper sweeps 1e-3, 1e-6, 1e-9)")
 		brk      = flag.Bool("breakdown", false, "figs 4-6: print the trace-derived compute/comm/wait split and critical path per run")
 		traceDir = flag.String("tracedir", "", "figs 4-6: export each distributed run as Chrome trace_event JSON into this directory")
+		chaos    = flag.Bool("chaos", false, "run the fault-injection survival sweep (same as -run chaos)")
 	)
 	flag.Parse()
 
@@ -66,16 +67,21 @@ func main() {
 		"fig1right": func() {
 			experiments.RunFig1Right(cfg)
 		},
-		"fig2": func() { experiments.RunFig2(cfg) },
-		"fig3": func() { experiments.RunFig3(cfg) },
-		"fig4": func() { experiments.RunFig4(cfg) },
-		"fig5": func() { experiments.RunFig5(cfg) },
-		"fig6": func() { experiments.RunFig6(cfg) },
+		"fig2":  func() { experiments.RunFig2(cfg) },
+		"fig3":  func() { experiments.RunFig3(cfg) },
+		"fig4":  func() { experiments.RunFig4(cfg) },
+		"fig5":  func() { experiments.RunFig5(cfg) },
+		"fig6":  func() { experiments.RunFig6(cfg) },
+		"chaos": func() { experiments.RunChaos(cfg) },
 	}
+	// The chaos sweep is opt-in (robustness, not a paper artifact), so
+	// "all" keeps reproducing exactly the paper's tables and figures.
 	order := []string{"table1", "table2", "fig1left", "fig1right", "fig2", "fig3", "fig4", "fig5", "fig6"}
 
 	selected := []string{*run}
-	if *run == "all" {
+	if *chaos {
+		selected = []string{"chaos"}
+	} else if *run == "all" {
 		selected = order
 	}
 	for _, name := range selected {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"sparselr/internal/core"
 	"sparselr/internal/dist"
 	"sparselr/internal/gen"
+	"sparselr/internal/lucrtp"
 	"sparselr/internal/sparse"
 )
 
@@ -70,8 +72,7 @@ func main() {
 	}
 	ap, err := core.Approximate(a, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lowrank:", err)
-		os.Exit(1)
+		exitOnRunError(err)
 	}
 	fmt.Printf("method        %s\n", ap.Method)
 	fmt.Printf("converged     %v\n", ap.Converged)
@@ -104,6 +105,35 @@ func main() {
 	if *verify {
 		te := ap.TrueError(a)
 		fmt.Printf("true error    %.6g  (%.4g × τ‖A‖_F)\n", te, te/(*tol*ap.NormA))
+	}
+}
+
+// exitOnRunError reports a failed approximation with a clear message and
+// a distinct exit status per failure class. Never a raw panic trace.
+func exitOnRunError(err error) {
+	msg, code := classifyRunError(err)
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(code)
+}
+
+// classifyRunError maps a failed run onto (message, exit code): 2 for a
+// numerical breakdown (ErrBreakdown — retry with a smaller block size, a
+// looser τ, or the StableL formulation), 3 for a structured
+// distributed-runtime failure (rank crash, deadlock, poisoned
+// collective), 1 otherwise.
+func classifyRunError(err error) (string, int) {
+	var re *dist.RankError
+	var de *dist.DeadlockError
+	switch {
+	case errors.Is(err, lucrtp.ErrBreakdown):
+		return fmt.Sprintf("lowrank: numerical breakdown: %v\nlowrank: try a smaller -k, a looser -tol, or the StableL formulation", err), 2
+	case errors.As(err, &re):
+		return fmt.Sprintf("lowrank: distributed run failed on rank %d at t=%.6gs (%s): %v",
+			re.Rank, re.VirtualTime, re.Phase, re.Err), 3
+	case errors.As(err, &de):
+		return fmt.Sprintf("lowrank: distributed run deadlocked:\n%v", err), 3
+	default:
+		return fmt.Sprintf("lowrank: %v", err), 1
 	}
 }
 

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"sparselr/internal/dist"
 	"sparselr/internal/gen"
+	"sparselr/internal/lucrtp"
 )
 
 func TestParseScale(t *testing.T) {
@@ -59,5 +64,25 @@ func TestLoadMatrixFromFile(t *testing.T) {
 	}
 	if _, _, err := loadMatrix(filepath.Join(dir, "missing.mtx"), "small"); err == nil {
 		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestClassifyRunError(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+		want string
+	}{
+		{fmt.Errorf("block: %w", lucrtp.ErrBreakdown), 2, "numerical breakdown"},
+		{&dist.RankError{Rank: 3, VirtualTime: 0.5, Phase: "send", Err: dist.ErrInjectedCrash}, 3, "rank 3"},
+		{&dist.RankError{Rank: 1, Phase: "spmm", Err: fmt.Errorf("x: %w", lucrtp.ErrBreakdown)}, 2, "numerical breakdown"},
+		{&dist.DeadlockError{Waits: []dist.WaitFor{{Rank: 0, On: 1}}}, 3, "deadlocked"},
+		{errors.New("plain failure"), 1, "plain failure"},
+	}
+	for _, c := range cases {
+		msg, code := classifyRunError(c.err)
+		if code != c.code || !strings.Contains(msg, c.want) {
+			t.Errorf("classifyRunError(%v) = %q, %d; want code %d containing %q", c.err, msg, code, c.code, c.want)
+		}
 	}
 }

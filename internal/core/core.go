@@ -124,6 +124,14 @@ type Options struct {
 	// sequential-only.
 	Procs      int
 	DistConfig *dist.Config // nil → dist.DefaultConfig()
+
+	// Checkpointing for the distributed loop solvers (RandQBEI, LUCRTP,
+	// ILUTCRTP, RandUBV): when CheckpointEvery > 0 and CheckpointStore is
+	// non-nil, each rank saves its loop state every CheckpointEvery
+	// iterations, and a rerun against a store holding a complete snapshot
+	// resumes from it to a bit-identical result.
+	CheckpointEvery int
+	CheckpointStore *dist.CheckpointStore
 }
 
 // Approximation is the uniform result of a run. Exactly one of LU, QB,
@@ -339,20 +347,22 @@ func approximateDist(a *sparse.CSR, opts Options) (*Approximation, error) {
 	var res *dist.Result
 	switch opts.Method {
 	case RandQBEI:
-		res = dist.Run(opts.Procs, cfg, func(c *dist.Comm) {
+		res, innerErr = dist.RunE(opts.Procs, cfg, func(c *dist.Comm) error {
 			r, err := randqb.FactorDist(c, a, randqb.Options{
 				BlockSize: opts.BlockSize, Tol: opts.Tol, Power: opts.Power,
 				MaxRank: opts.MaxRank, Seed: opts.Seed,
+				CheckpointEvery: opts.CheckpointEvery, Checkpoint: opts.CheckpointStore,
 			})
-			if c.Rank() == 0 {
-				innerErr = err
-				if err == nil {
-					ap.QB = r
-					ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
-					ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
-					ap.NNZFactors = r.Q.Rows*r.Q.Cols + r.B.Rows*r.B.Cols
-				}
+			if err != nil {
+				return err
 			}
+			if c.Rank() == 0 {
+				ap.QB = r
+				ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+				ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+				ap.NNZFactors = r.Q.Rows*r.Q.Cols + r.B.Rows*r.B.Cols
+			}
+			return nil
 		})
 	case LUCRTP, ILUTCRTP:
 		lopts := lucrtp.Options{
@@ -371,33 +381,38 @@ func approximateDist(a *sparse.CSR, opts Options) (*Approximation, error) {
 				lopts.Threshold = lucrtp.AutoThreshold
 			}
 		}
-		res = dist.Run(opts.Procs, cfg, func(c *dist.Comm) {
+		lopts.CheckpointEvery = opts.CheckpointEvery
+		lopts.Checkpoint = opts.CheckpointStore
+		res, innerErr = dist.RunE(opts.Procs, cfg, func(c *dist.Comm) error {
 			r, err := lucrtp.FactorDist(c, a, lopts)
-			if c.Rank() == 0 {
-				innerErr = err
-				if err == nil {
-					ap.LU = r
-					ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
-					ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
-					ap.NNZFactors = r.NNZFactors()
-				}
+			if err != nil {
+				return err
 			}
+			if c.Rank() == 0 {
+				ap.LU = r
+				ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+				ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+				ap.NNZFactors = r.NNZFactors()
+			}
+			return nil
 		})
 	case RandUBV:
-		res = dist.Run(opts.Procs, cfg, func(c *dist.Comm) {
+		res, innerErr = dist.RunE(opts.Procs, cfg, func(c *dist.Comm) error {
 			r, err := randubv.FactorDist(c, a, randubv.Options{
 				BlockSize: opts.BlockSize, Tol: opts.Tol,
 				MaxRank: opts.MaxRank, Seed: opts.Seed,
+				CheckpointEvery: opts.CheckpointEvery, Checkpoint: opts.CheckpointStore,
 			})
-			if c.Rank() == 0 {
-				innerErr = err
-				if err == nil {
-					ap.UBV = r
-					ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
-					ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
-					ap.NNZFactors = r.U.Rows*r.U.Cols + r.B.Rows*r.B.Cols + r.V.Rows*r.V.Cols
-				}
+			if err != nil {
+				return err
 			}
+			if c.Rank() == 0 {
+				ap.UBV = r
+				ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+				ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+				ap.NNZFactors = r.U.Rows*r.U.Cols + r.B.Rows*r.B.Cols + r.V.Rows*r.V.Cols
+			}
+			return nil
 		})
 	case TSVD, RSVDRestart, ARRF:
 		return nil, fmt.Errorf("core: %v has no distributed implementation; use Procs ≤ 1", opts.Method)

@@ -41,12 +41,15 @@ func (c *Comm) bcastTree(root, tag int, data interface{}, bytes int) interface{}
 	vr := (c.rank - root + p) % p // virtual rank
 	// Receive from the parent: in a binomial tree the parent of vr is vr
 	// with its lowest set bit cleared.
-	if vr != 0 {
+	if vr == 0 {
+		c.guardCollective("Bcast", data)
+	} else {
 		parent := vr &^ (vr & -vr)
 		src := (parent + root) % p
 		m := c.recvFull(src, tag)
 		data = m.data
 		bytes = m.bytes
+		c.guardCollective("Bcast", data)
 	}
 	// Forward to children vr|2^k for 2^k below vr's lowest set bit,
 	// largest subtree first so the broadcast completes in ⌈log₂P⌉ rounds
@@ -90,6 +93,7 @@ func (c *Comm) reduceTree(root, tag int, data interface{}, bytes int, combine Re
 	p := c.Size()
 	vr := (c.rank - root + p) % p
 	acc := data
+	c.guardCollective("Reduce", acc)
 	// Receive from children (mirror of the broadcast tree).
 	lsb := vr & -vr
 	if vr == 0 {
@@ -108,6 +112,7 @@ func (c *Comm) reduceTree(root, tag int, data interface{}, bytes int, combine Re
 		}
 		src := (child + root) % p
 		in := c.Recv(src, tag)
+		c.guardCollective("Reduce", in)
 		if combine != nil {
 			acc = combine(acc, in)
 		}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -17,6 +18,19 @@ type Config struct {
 	// advance on every rank. A nil Tracer (the default) is free: no
 	// events are constructed and no tracing state is allocated.
 	Tracer Tracer
+
+	// Fault, when non-nil, injects the deterministic fault schedule of
+	// DESIGN.md §4d: rank crashes at virtual times, message
+	// drop/duplicate/corrupt by (src, dst, tag, seq), and straggler
+	// scaling of a rank's α/β/γ. A nil plan costs nothing and leaves
+	// the virtual clocks bit-identical.
+	Fault *FaultPlan
+
+	// CheckNumerics, when set, validates float collective payloads
+	// (own contributions and received partials) and fails the rank with
+	// a *RankError wrapping ErrNumericalPoison naming the first
+	// poisoned collective. Off by default; it touches every element.
+	CheckNumerics bool
 }
 
 // DefaultConfig models a commodity cluster node: ~1 µs MPI latency,
@@ -33,45 +47,11 @@ type message struct {
 	sendStart float64 // sender clock when the send began
 }
 
-// mailbox is an unbounded MPI-style matching queue.
-type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []message
-}
-
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
-}
-
-func (mb *mailbox) put(m message) {
-	mb.mu.Lock()
-	mb.pending = append(mb.pending, m)
-	mb.cond.Signal()
-	mb.mu.Unlock()
-}
-
-func (mb *mailbox) get(src, tag int) message {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		for i, m := range mb.pending {
-			if m.src == src && m.tag == tag {
-				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
-				return m
-			}
-		}
-		mb.cond.Wait()
-	}
-}
-
-// World owns the mailboxes of a running SPMD program.
+// World owns the message network of a running SPMD program.
 type World struct {
-	p     int
-	cfg   Config
-	boxes []*mailbox
+	p   int
+	cfg Config
+	net *network
 }
 
 // pairKey indexes per-(peer, tag) message sequence counters.
@@ -83,6 +63,11 @@ type Comm struct {
 	world  *World
 	rank   int
 	tracer Tracer
+
+	// Per-rank cost-model parameters: the Config scalars, scaled by the
+	// rank's straggler entry when a FaultPlan is attached.
+	alpha, beta, gamma float64
+	fault              *rankFaults // nil unless the plan names this rank
 
 	clock float64
 	commT float64 // latency + bandwidth + wait
@@ -131,10 +116,13 @@ func (c *Comm) Compute(flops float64, kernel string) {
 		panic("dist: negative flop count")
 	}
 	start := c.clock
-	dt := flops * c.world.cfg.Gamma
+	dt := flops * c.gamma
 	c.clock += dt
 	c.compT += dt
 	c.addKernel(kernel, dt)
+	if c.fault != nil {
+		c.checkCrash(computeName(kernel))
+	}
 	if c.tracer != nil && dt > 0 {
 		c.tracer.TraceEvent(Event{
 			Rank: c.rank, Kind: EvCompute, Name: computeName(kernel),
@@ -152,6 +140,9 @@ func (c *Comm) Elapse(dt float64, kernel string) {
 	c.clock += dt
 	c.compT += dt
 	c.addKernel(kernel, dt)
+	if c.fault != nil {
+		c.checkCrash(computeName(kernel))
+	}
 	if c.tracer != nil && dt > 0 {
 		c.tracer.TraceEvent(Event{
 			Rank: c.rank, Kind: EvCompute, Name: computeName(kernel),
@@ -214,22 +205,36 @@ func nextSeq(m *map[pairKey]int, peer, tag int) int {
 
 // Send transmits data to rank dst with a matching tag. bytes is the
 // payload size used by the cost model. The call charges the sender
-// α + β·bytes and never blocks (mailboxes are unbounded).
+// α + β·bytes and never blocks (message queues are unbounded).
 func (c *Comm) Send(dst, tag int, data interface{}, bytes int) {
 	if dst < 0 || dst >= c.world.p {
 		panic(fmt.Sprintf("dist: send to invalid rank %d", dst))
 	}
 	start := c.clock
-	dt := c.world.cfg.Alpha + c.world.cfg.Beta*float64(bytes)
+	dt := c.alpha + c.beta*float64(bytes)
 	c.clock += dt
 	c.commT += dt
-	c.latT += c.world.cfg.Alpha
-	c.bwT += c.world.cfg.Beta * float64(bytes)
+	c.latT += c.alpha
+	c.bwT += c.beta * float64(bytes)
 	c.msgsOut++
 	c.bytesOut += bytes
 	if c.collDepth > 0 {
 		c.collMsgs++
 		c.collBytes += bytes
+	}
+	deliveries := 1
+	if c.fault != nil {
+		c.checkCrash(c.p2pName("send"))
+		if op, seq, ok := c.fault.match(dst, tag); ok {
+			switch op {
+			case DropMessage:
+				deliveries = 0
+			case DuplicateMessage:
+				deliveries = 2
+			case CorruptMessage:
+				data = c.fault.corrupt(data, dst, tag, seq)
+			}
+		}
 	}
 	if c.tracer != nil {
 		c.tracer.TraceEvent(Event{
@@ -238,12 +243,16 @@ func (c *Comm) Send(dst, tag int, data interface{}, bytes int) {
 			Peer: dst, Tag: tag, Seq: nextSeq(&c.sendSeq, dst, tag),
 		})
 	}
-	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, bytes: bytes, sendStart: start})
+	for i := 0; i < deliveries; i++ {
+		c.world.net.put(dst, message{src: c.rank, tag: tag, data: data, bytes: bytes, sendStart: start})
+	}
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. The receiver clock advances to
-// max(own, senderStart) + α + β·bytes.
+// max(own, senderStart) + α + β·bytes. If the run reaches a state where
+// the message can never arrive (deadlock, failed or exited sender) the
+// rank unwinds with a *RankError instead of blocking forever.
 func (c *Comm) Recv(src, tag int) interface{} {
 	return c.recvFull(src, tag).data
 }
@@ -252,24 +261,27 @@ func (c *Comm) recvFull(src, tag int) message {
 	if src < 0 || src >= c.world.p {
 		panic(fmt.Sprintf("dist: recv from invalid rank %d", src))
 	}
-	m := c.world.boxes[c.rank].get(src, tag)
+	m := c.world.net.get(c.rank, src, tag, c.clock)
 	before := c.clock
 	var wait float64
 	if m.sendStart > c.clock {
 		wait = m.sendStart - c.clock
 		c.clock = m.sendStart
 	}
-	dt := c.world.cfg.Alpha + c.world.cfg.Beta*float64(m.bytes)
+	dt := c.alpha + c.beta*float64(m.bytes)
 	c.clock += dt
 	c.commT += c.clock - before
-	c.latT += c.world.cfg.Alpha
-	c.bwT += c.world.cfg.Beta * float64(m.bytes)
+	c.latT += c.alpha
+	c.bwT += c.beta * float64(m.bytes)
 	c.waitT += wait
 	c.msgsIn++
 	c.bytesIn += m.bytes
 	if c.collDepth > 0 {
 		c.collMsgs++
 		c.collBytes += m.bytes
+	}
+	if c.fault != nil {
+		c.checkCrash(c.p2pName("recv"))
 	}
 	if c.tracer != nil {
 		c.tracer.TraceEvent(Event{
@@ -285,8 +297,36 @@ func (c *Comm) recvFull(src, tag int) message {
 // SendFloats sends a float64 slice, deriving the byte count.
 func (c *Comm) SendFloats(dst, tag int, x []float64) { c.Send(dst, tag, x, 8*len(x)) }
 
-// RecvFloats receives a float64 slice.
-func (c *Comm) RecvFloats(src, tag int) []float64 { return c.Recv(src, tag).([]float64) }
+// RecvFloats receives a float64 slice. A message with a different
+// payload type fails the rank with a descriptive *RankError (wrapping
+// ErrTypeMismatch, naming the peer, tag and both types) instead of a
+// bare interface-assertion panic.
+func (c *Comm) RecvFloats(src, tag int) []float64 {
+	m := c.Recv(src, tag)
+	v, ok := m.([]float64)
+	if !ok {
+		panic(c.typeMismatch(src, tag, "[]float64", m))
+	}
+	return v
+}
+
+// RecvInts receives an int slice with the same checked-type contract as
+// RecvFloats.
+func (c *Comm) RecvInts(src, tag int) []int {
+	m := c.Recv(src, tag)
+	v, ok := m.([]int)
+	if !ok {
+		panic(c.typeMismatch(src, tag, "[]int", m))
+	}
+	return v
+}
+
+func (c *Comm) typeMismatch(src, tag int, want string, got interface{}) *RankError {
+	return &RankError{
+		Rank: c.rank, VirtualTime: c.clock, Phase: c.p2pName("recv"),
+		Err: fmt.Errorf("%w: receive from rank %d tag %d got %T, want %s", ErrTypeMismatch, src, tag, got, want),
+	}
+}
 
 // beginCollective enters a named collective region. It returns true for
 // the outermost entry; nested collectives (Allreduce's internal Reduce
@@ -328,6 +368,19 @@ func (c *Comm) endCollective(top bool) {
 		})
 	}
 	c.collName = ""
+}
+
+// guardCollective applies the CheckNumerics payload guard with the
+// active collective's name (or the fallback when called outside one).
+func (c *Comm) guardCollective(fallback string, data interface{}) {
+	if !c.world.cfg.CheckNumerics {
+		return
+	}
+	name := fallback
+	if c.collDepth > 0 && c.collName != "" {
+		name = c.collName
+	}
+	c.guardPayload(name, data)
 }
 
 // CollectiveStats is one rank's histogram bucket for one collective kind.
@@ -438,43 +491,99 @@ func (r *Result) CollectiveNames() []string {
 
 // Run executes body on p ranks and returns the per-rank virtual-time
 // statistics. It blocks until every rank returns. Panics in rank bodies
-// propagate to the caller.
+// propagate to the caller; a deadlock or injected fault panics with the
+// structured error RunE would have returned.
 func Run(p int, cfg Config, body func(*Comm)) *Result {
+	res, err := RunE(p, cfg, func(c *Comm) error {
+		body(c)
+		return nil
+	})
+	if err != nil {
+		var re *RankError
+		if errors.As(err, &re) && re.panicVal != nil {
+			panic(fmt.Sprintf("dist: rank %d panicked: %v", re.Rank, re.panicVal))
+		}
+		panic(err)
+	}
+	return res
+}
+
+// RunE executes body on p ranks, where rank bodies return errors. It
+// blocks until every rank has returned or unwound and always returns the
+// per-rank statistics (partial for failed ranks, whose clocks stop at
+// the failure).
+//
+// Failure semantics:
+//   - A body error, a recovered panic, an injected crash, a typed-recv
+//     mismatch or a CheckNumerics violation becomes a *RankError carrying
+//     the rank, its virtual time and the failure phase.
+//   - Once a rank can no longer send, peers whose blocking Recv can
+//     never be satisfied unwind deterministically at that Recv instead of
+//     blocking forever (their secondary errors wrap ErrAborted and are
+//     not selected as the primary error).
+//   - If every live rank is blocked with no matching message in flight,
+//     the run fails fast with a *DeadlockError wait-for-graph report.
+//
+// The primary error is the failing *RankError with the smallest virtual
+// time (ties broken by rank), or the *DeadlockError when no rank failed.
+func RunE(p int, cfg Config, body func(*Comm) error) (*Result, error) {
 	if p < 1 {
 		panic("dist: need at least one rank")
 	}
-	w := &World{p: p, cfg: cfg, boxes: make([]*mailbox, p)}
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
-	}
+	w := &World{p: p, cfg: cfg, net: newNetwork(p)}
 	comms := make([]*Comm, p)
 	for i := range comms {
+		alpha, beta, gamma := cfg.Alpha, cfg.Beta, cfg.Gamma
+		if cfg.Fault != nil {
+			commScale, compScale := cfg.Fault.scales(i)
+			alpha *= commScale
+			beta *= commScale
+			gamma *= compScale
+		}
 		comms[i] = &Comm{
 			world: w, rank: i, tracer: cfg.Tracer,
+			alpha: alpha, beta: beta, gamma: gamma,
+			fault:   cfg.Fault.faultsFor(i),
 			kernels: map[string]float64{},
 			colls:   map[string]*CollectiveStats{},
 		}
 	}
 	var wg sync.WaitGroup
-	panics := make([]interface{}, p)
+	errs := make([]*RankError, p)
+	aborts := make([]*RankError, p)
 	for i := 0; i < p; i++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[rank] = r
+			c := comms[rank]
+			var rerr, rabort *RankError
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						return
+					}
+					switch v := r.(type) {
+					case crashSignal:
+						rerr = &RankError{Rank: rank, VirtualTime: c.clock, Phase: v.phase, Err: ErrInjectedCrash}
+					case abortSignal:
+						rabort = &RankError{Rank: rank, VirtualTime: c.clock, Phase: c.p2pName("recv"), Err: v.err}
+					case *RankError:
+						rerr = v
+					default:
+						rerr = &RankError{Rank: rank, VirtualTime: c.clock, Phase: "body", Err: fmt.Errorf("panic: %v", v), panicVal: v}
+					}
+				}()
+				if err := body(c); err != nil {
+					rerr = &RankError{Rank: rank, VirtualTime: c.clock, Phase: "body", Err: err}
 				}
 			}()
-			body(comms[rank])
+			errs[rank] = rerr
+			aborts[rank] = rabort
+			w.net.rankExit(rank, rerr != nil)
 		}(i)
 	}
 	wg.Wait()
-	for rank, pv := range panics {
-		if pv != nil {
-			panic(fmt.Sprintf("dist: rank %d panicked: %v", rank, pv))
-		}
-	}
 	res := &Result{Ranks: make([]Stats, p)}
 	for i, c := range comms {
 		colls := make(map[string]CollectiveStats, len(c.colls))
@@ -491,7 +600,28 @@ func Run(p int, cfg Config, body func(*Comm)) *Result {
 			Collectives: colls, CollOrder: c.collOrder,
 		}
 	}
-	return res
+	var primary *RankError
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if primary == nil || e.VirtualTime < primary.VirtualTime ||
+			(e.VirtualTime == primary.VirtualTime && e.Rank < primary.Rank) {
+			primary = e
+		}
+	}
+	if primary != nil {
+		return res, primary
+	}
+	if rep := w.net.stuckReport(); rep != nil {
+		return res, rep
+	}
+	for _, a := range aborts {
+		if a != nil {
+			return res, a
+		}
+	}
+	return res, nil
 }
 
 // TotalMessages returns the point-to-point message count across ranks.

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sparselr/internal/gen"
+)
+
+func TestRunChaosSurvivalTable(t *testing.T) {
+	var sb strings.Builder
+	rows := RunChaos(Config{Scale: gen.Small, Out: &sb, Seed: 1})
+	if len(rows) != 4*6 {
+		t.Fatalf("expected 4 algorithms x 6 scenarios = 24 rows, got %d", len(rows))
+	}
+	byCell := map[string]string{}
+	for _, r := range rows {
+		byCell[r.Algo+"/"+r.Scenario] = r.Outcome
+	}
+	for _, algo := range []string{"LU_CRTP", "RandQB_EI", "RandUBV", "QR_TP"} {
+		if out := byCell[algo+"/baseline"]; !strings.HasPrefix(out, "ok") {
+			t.Errorf("%s baseline not ok: %q", algo, out)
+		}
+		if out := byCell[algo+"/crash"]; !strings.Contains(out, "rank 1 crashed") {
+			t.Errorf("%s crash not attributed: %q", algo, out)
+		}
+		if out := byCell[algo+"/straggler"]; !strings.Contains(out, "result identical") {
+			t.Errorf("%s straggler changed the result: %q", algo, out)
+		}
+		if out := byCell[algo+"/drop"]; !strings.Contains(out, "deadlock detected") {
+			t.Errorf("%s drop not caught by the deadlock detector: %q", algo, out)
+		}
+		// Corruption outcomes legitimately vary by algorithm (payload
+		// types differ), but must never hang or kill the process.
+		if out := byCell[algo+"/corrupt"]; out == "" {
+			t.Errorf("%s corrupt row missing", algo)
+		}
+	}
+	for _, algo := range []string{"LU_CRTP", "RandQB_EI", "RandUBV"} {
+		if out := byCell[algo+"/restart"]; !strings.Contains(out, "bit-identical") {
+			t.Errorf("%s restart not bit-identical: %q", algo, out)
+		}
+	}
+	if out := byCell["QR_TP/restart"]; !strings.Contains(out, "n/a") {
+		t.Errorf("QR_TP restart should be n/a: %q", out)
+	}
+	// The printed table carries every row.
+	text := sb.String()
+	if !strings.Contains(text, "Chaos sweep") || strings.Count(text, "\n") < 25 {
+		t.Fatalf("survival table output truncated:\n%s", text)
+	}
+
+	// Determinism: a second sweep reproduces every cell.
+	again := RunChaos(Config{Scale: gen.Small, Seed: 1})
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("chaos sweep not deterministic: %+v vs %+v", rows[i], again[i])
+		}
+	}
+}

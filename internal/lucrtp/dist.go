@@ -40,7 +40,44 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 
 	res := &Result{NormA: normA, RowPerm: identity(m), ColPerm: identity(n)}
 	acur := a
-	if opts.Reorder != ReorderOff {
+
+	// Resume from the newest complete checkpoint cut, if one exists. The
+	// COLAMD preamble is skipped on resume: the restored Schur complement
+	// and permutations already embed the reordering.
+	startIter := 0
+	resumed := false
+	var lEnt, uEnt []entry
+	z := 0
+	mu, phi, t2 := 0.0, 0.0, 0.0
+	if opts.Checkpoint != nil {
+		if it, states, ok := opts.Checkpoint.Latest(p); ok {
+			s := states[c.Rank()].(*luSnapshot)
+			startIter = it
+			resumed = true
+			acur = s.acur.Clone()
+			lEnt = append([]entry(nil), s.lEnt...)
+			uEnt = append([]entry(nil), s.uEnt...)
+			z = s.z
+			mu, phi, t2 = s.mu, s.phi, s.t2
+			res.RowPerm = append([]int(nil), s.rowOrder...)
+			res.ColPerm = append([]int(nil), s.colOrder...)
+			res.R11First = s.r11First
+			res.Mu, res.Phi = s.resMu, s.resPhi
+			res.ErrHistory = append([]float64(nil), s.errHistory...)
+			res.FillHistory = append([]float64(nil), s.fillHistory...)
+			res.NNZHistory = append([]int(nil), s.nnzHistory...)
+			res.Iters = it
+			res.Rank = s.rank
+			res.ErrIndicator = s.errIndicator
+			res.DiscardedCols = s.discardedCols
+			res.DroppedNorm2 = s.droppedNorm2
+			res.DroppedNorm1 = s.droppedNorm1
+			res.DroppedNNZ = s.droppedNNZ
+			res.ControlTriggered = s.controlTriggered
+			res.HitNumRank = s.hitNumRank
+		}
+	}
+	if !resumed && opts.Reorder != ReorderOff {
 		// COLAMD is "a local, intrinsically sequential reordering
 		// heuristic ... applied as a preprocessing step" (§V): rank 0
 		// computes it and broadcasts the permutation.
@@ -57,13 +94,9 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	}
 	rowOrder := res.RowPerm
 	colOrder := res.ColPerm
-
-	var lEnt, uEnt []entry
-	z := 0
-	mu, phi, t2 := 0.0, 0.0, 0.0
 	thresholdOn := opts.Threshold != NoThreshold
 
-	for iter := 1; ; iter++ {
+	for iter := startIter + 1; ; iter++ {
 		if c.Tracing() {
 			c.Annotate(fmt.Sprintf("LU_CRTP iter %d", iter))
 		}
@@ -305,12 +338,63 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 		}
 		acur = s
 		res.ErrIndicator = e
+		if opts.Checkpoint != nil && opts.CheckpointEvery > 0 && iter%opts.CheckpointEvery == 0 {
+			opts.Checkpoint.Save(iter, c.Rank(), &luSnapshot{
+				acur:             acur.Clone(),
+				lEnt:             append([]entry(nil), lEnt...),
+				uEnt:             append([]entry(nil), uEnt...),
+				z:                z,
+				mu:               mu,
+				phi:              phi,
+				t2:               t2,
+				rowOrder:         append([]int(nil), rowOrder...),
+				colOrder:         append([]int(nil), colOrder...),
+				r11First:         res.R11First,
+				resMu:            res.Mu,
+				resPhi:           res.Phi,
+				errHistory:       append([]float64(nil), res.ErrHistory...),
+				fillHistory:      append([]float64(nil), res.FillHistory...),
+				nnzHistory:       append([]int(nil), res.NNZHistory...),
+				rank:             res.Rank,
+				errIndicator:     res.ErrIndicator,
+				discardedCols:    res.DiscardedCols,
+				droppedNorm2:     res.DroppedNorm2,
+				droppedNorm1:     res.DroppedNorm1,
+				droppedNNZ:       res.DroppedNNZ,
+				controlTriggered: res.ControlTriggered,
+				hitNumRank:       res.HitNumRank,
+			})
+		}
 	}
 	if len(res.ErrHistory) > 0 {
 		res.ErrIndicator = res.ErrHistory[len(res.ErrHistory)-1]
 	}
 	res.L, res.U = assembleFactors(lEnt, uEnt, rowOrder, colOrder, m, n, res.Rank)
 	return res, nil
+}
+
+// luSnapshot is one rank's LU_CRTP/ILUT_CRTP loop state at an iteration
+// boundary. The loop is fully replicated, so every rank snapshots the
+// same values; all fields are deep copies.
+type luSnapshot struct {
+	acur               *sparse.CSR
+	lEnt, uEnt         []entry
+	z                  int
+	mu, phi, t2        float64
+	rowOrder, colOrder []int
+	r11First           float64
+	resMu, resPhi      float64
+	errHistory         []float64
+	fillHistory        []float64
+	nnzHistory         []int
+	rank               int
+	errIndicator       float64
+	discardedCols      int
+	droppedNorm2       float64
+	droppedNorm1       float64
+	droppedNNZ         int
+	controlTriggered   bool
+	hitNumRank         bool
 }
 
 // rowShare returns the contiguous block [lo, hi) of rows owned by the

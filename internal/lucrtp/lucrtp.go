@@ -15,6 +15,7 @@ import (
 	"math"
 	"time"
 
+	"sparselr/internal/dist"
 	"sparselr/internal/mat"
 	"sparselr/internal/ordering"
 	"sparselr/internal/qrtp"
@@ -85,6 +86,14 @@ type Options struct {
 	// factors are unaffected in exact arithmetic. DiscardTol = 1 is a
 	// reasonable setting; larger values prune more aggressively.
 	DiscardTol float64
+
+	// CheckpointEvery > 0 makes FactorDist save each rank's loop state
+	// into Checkpoint at the end of every CheckpointEvery-th iteration;
+	// a complete snapshot already in Checkpoint resumes the run (the
+	// COLAMD preamble is skipped — the restored Schur complement embeds
+	// it) to a bit-identical result. Ignored by the sequential Factor.
+	CheckpointEvery int
+	Checkpoint      *dist.CheckpointStore
 }
 
 func (o *Options) defaults() {

@@ -1,0 +1,38 @@
+package qrtp
+
+import (
+	"errors"
+	"testing"
+
+	"sparselr/internal/dist"
+)
+
+func TestSelectColumnsDistInjectedCrash(t *testing.T) {
+	a := randCSR(40, 32, 0.3, 97)
+	csc := a.ToCSC()
+	k, p := 4, 4
+	cfg := dist.Config{Alpha: 1e-6, Beta: 1e-9, Gamma: 1e-9}
+	base, err := dist.RunE(p, cfg, func(c *dist.Comm) error {
+		SelectColumnsDist(c, csc, BlockCyclicColumns(32, p, c.Rank(), 2*k), k)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("baseline tournament failed: %v", err)
+	}
+	crashAt := base.MaxTime() / 2
+	cfg.Fault = &dist.FaultPlan{Crashes: []dist.Crash{{Rank: 1, At: crashAt}}}
+	_, err = dist.RunE(p, cfg, func(c *dist.Comm) error {
+		SelectColumnsDist(c, csc, BlockCyclicColumns(32, p, c.Rank(), 2*k), k)
+		return nil
+	})
+	var re *dist.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *RankError, got %v", err)
+	}
+	if re.Rank != 1 || re.VirtualTime != crashAt {
+		t.Fatalf("crash reported as rank %d at t=%v, want rank 1 at t=%v", re.Rank, re.VirtualTime, crashAt)
+	}
+	if !errors.Is(err, dist.ErrInjectedCrash) {
+		t.Fatalf("error does not wrap ErrInjectedCrash: %v", err)
+	}
+}

@@ -53,6 +53,31 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	qKLoc := mat.NewDense(hi-lo, 0)
 	bK := mat.NewDense(0, n)
 	start := time.Now()
+	draws := 0 // NormFloat64 calls consumed, for checkpoint resume
+
+	// Resume from the newest complete checkpoint cut, if one exists. The
+	// RNG is fast-forwarded by the recorded draw count so the remaining
+	// sketches are the ones the uninterrupted run would have drawn.
+	startIter := 0
+	if opts.Checkpoint != nil {
+		if it, states, ok := opts.Checkpoint.Latest(p); ok {
+			s := states[c.Rank()].(*qbSnapshot)
+			startIter = it
+			draws = s.draws
+			e = s.e
+			qKLoc = s.qKLoc.Clone()
+			bK = s.bK.Clone()
+			res.Iters = it
+			res.ErrIndicator = s.errIndicator
+			res.ErrHistory = append([]float64(nil), s.errHistory...)
+			res.TimeHistory = append([]time.Duration(nil), s.timeHistory...)
+			res.OrthLossFirst = s.orthLossFirst
+			res.OrthLossLast = s.orthLossLast
+			for i := 0; i < draws; i++ {
+				rng.NormFloat64()
+			}
+		}
+	}
 
 	// sumReduce adds the per-rank partials of a replicated product:
 	// gather at the root, sum, broadcast. The result is safe to mutate.
@@ -98,7 +123,7 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 		mat.MulSub(yLoc, qKLoc, s)
 	}
 
-	for iter := 1; ; iter++ {
+	for iter := startIter + 1; ; iter++ {
 		if c.Tracing() {
 			c.Annotate(fmt.Sprintf("RandQB iter %d", iter))
 		}
@@ -108,6 +133,7 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 		}
 		kEff := min(k, maxRank-kNow)
 		om := gaussian(rng, n, kEff)
+		draws += n * kEff
 		// Y = A·Ω − Q_K(B_K·Ω), all row-local.
 		c.Compute(2*nnzLoc*float64(kEff), "SpMM")
 		yLoc := aLoc.MulDense(om)
@@ -167,6 +193,19 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 			}
 			res.OrthLossLast = loss
 		}
+		if opts.Checkpoint != nil && opts.CheckpointEvery > 0 && iter%opts.CheckpointEvery == 0 {
+			opts.Checkpoint.Save(iter, c.Rank(), &qbSnapshot{
+				draws:         draws,
+				e:             e,
+				qKLoc:         qKLoc.Clone(),
+				bK:            bK.Clone(),
+				errIndicator:  res.ErrIndicator,
+				errHistory:    append([]float64(nil), res.ErrHistory...),
+				timeHistory:   append([]time.Duration(nil), res.TimeHistory...),
+				orthLossFirst: res.OrthLossFirst,
+				orthLossLast:  res.OrthLossLast,
+			})
+		}
 		if ind < opts.Tol*normA {
 			res.Converged = true
 			break
@@ -188,6 +227,22 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	res.B = bK
 	res.Rank = bK.Rows
 	return res, nil
+}
+
+// qbSnapshot is one rank's RandQB_EI loop state at an iteration
+// boundary: the rank-local basis panel, the replicated B_K, the error
+// recurrence and the RNG draw count (so a resume redraws the same
+// sketches). All fields are deep copies.
+type qbSnapshot struct {
+	draws         int
+	e             float64
+	qKLoc         *mat.Dense
+	bK            *mat.Dense
+	errIndicator  float64
+	errHistory    []float64
+	timeHistory   []time.Duration
+	orthLossFirst float64
+	orthLossLast  float64
 }
 
 func rowShare(rows, p, rank int) (lo, hi int) {

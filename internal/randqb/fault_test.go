@@ -1,0 +1,108 @@
+package randqb
+
+import (
+	"errors"
+	"testing"
+
+	"sparselr/internal/dist"
+)
+
+func distCfg() dist.Config { return dist.Config{Alpha: 1e-6, Beta: 1e-9, Gamma: 1e-9} }
+
+func faultOpts() Options {
+	return Options{BlockSize: 4, Tol: 1e-8, Seed: 7}
+}
+
+func TestFactorDistInjectedCrash(t *testing.T) {
+	a := decayMatrix(60, 50, 30, 0.6, 101)
+	base, err := dist.RunE(4, distCfg(), func(c *dist.Comm) error {
+		_, err := FactorDist(c, a, faultOpts())
+		return err
+	})
+	if err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+	crashAt := base.MaxTime() / 2
+	cfg := distCfg()
+	cfg.Fault = &dist.FaultPlan{Crashes: []dist.Crash{{Rank: 2, At: crashAt}}}
+	_, err = dist.RunE(4, cfg, func(c *dist.Comm) error {
+		_, err := FactorDist(c, a, faultOpts())
+		return err
+	})
+	var re *dist.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *RankError, got %v", err)
+	}
+	if re.Rank != 2 || re.VirtualTime != crashAt {
+		t.Fatalf("crash reported as rank %d at t=%v, want rank 2 at t=%v", re.Rank, re.VirtualTime, crashAt)
+	}
+	if !errors.Is(err, dist.ErrInjectedCrash) {
+		t.Fatalf("error does not wrap ErrInjectedCrash: %v", err)
+	}
+}
+
+func TestFactorDistCheckpointRestartBitIdentical(t *testing.T) {
+	a := decayMatrix(60, 50, 30, 0.6, 101)
+	const p = 2
+	run := func(opts Options, cfg dist.Config) (*Result, error) {
+		var out *Result
+		_, err := dist.RunE(p, cfg, func(c *dist.Comm) error {
+			r, err := FactorDist(c, a, opts)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out = r
+			}
+			return nil
+		})
+		return out, err
+	}
+	want, err := run(faultOpts(), distCfg())
+	if err != nil {
+		t.Fatalf("uninterrupted run failed: %v", err)
+	}
+	if want.Iters < 3 {
+		t.Fatalf("test needs a multi-iteration run, got %d iterations", want.Iters)
+	}
+
+	store := dist.NewCheckpointStore()
+	opts := faultOpts()
+	opts.CheckpointEvery = 1
+	opts.Checkpoint = store
+	base, _ := dist.RunE(p, distCfg(), func(c *dist.Comm) error { _, err := FactorDist(c, a, faultOpts()); return err })
+	cfg := distCfg()
+	cfg.Fault = &dist.FaultPlan{Crashes: []dist.Crash{{Rank: 1, At: 0.6 * base.MaxTime()}}}
+	if _, err := run(opts, cfg); err == nil {
+		t.Fatal("faulted run should fail")
+	}
+	if _, _, ok := store.Latest(p); !ok {
+		t.Fatal("no complete checkpoint survived the crash")
+	}
+	got, err := run(opts, distCfg())
+	if err != nil {
+		t.Fatalf("restarted run failed: %v", err)
+	}
+
+	if got.Rank != want.Rank || got.Iters != want.Iters || got.Converged != want.Converged {
+		t.Fatalf("restart diverged: rank %d/%d iters %d/%d", got.Rank, want.Rank, got.Iters, want.Iters)
+	}
+	if got.Q.Rows != want.Q.Rows || got.Q.Cols != want.Q.Cols || got.B.Rows != want.B.Rows || got.B.Cols != want.B.Cols {
+		t.Fatal("factor shapes differ after restart")
+	}
+	for i := range want.Q.Data {
+		if got.Q.Data[i] != want.Q.Data[i] {
+			t.Fatalf("Q element %d differs after restart: %v != %v", i, got.Q.Data[i], want.Q.Data[i])
+		}
+	}
+	for i := range want.B.Data {
+		if got.B.Data[i] != want.B.Data[i] {
+			t.Fatalf("B element %d differs after restart: %v != %v", i, got.B.Data[i], want.B.Data[i])
+		}
+	}
+	for i := range want.ErrHistory {
+		if got.ErrHistory[i] != want.ErrHistory[i] {
+			t.Fatalf("ErrHistory differs after restart at %d", i)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sparselr/internal/dist"
 	"sparselr/internal/mat"
 	"sparselr/internal/sparse"
 )
@@ -34,6 +35,14 @@ type Options struct {
 	// TrackOrthLoss records ‖Q_KᵀQ_K − I‖∞ after the first and the last
 	// iteration (§VI-B reports its growth from ~1e-15..1e-14 upward).
 	TrackOrthLoss bool
+
+	// CheckpointEvery > 0 makes FactorDist save each rank's loop state
+	// into Checkpoint at the end of every CheckpointEvery-th iteration.
+	// When Checkpoint already holds a complete snapshot (from a faulted
+	// run), FactorDist resumes from it and reproduces the uninterrupted
+	// result bit-identically. Ignored by the sequential Factor.
+	CheckpointEvery int
+	Checkpoint      *dist.CheckpointStore
 }
 
 func (o *Options) defaults() {

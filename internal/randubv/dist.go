@@ -90,26 +90,47 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	}
 
 	e := normA * normA
-	om := mat.NewDense(n, min(k, maxRank))
-	for i := range om.Data {
-		om.Data[i] = rng.NormFloat64()
-	}
-	chargeTSQR(float64(n), om.Cols)
-	vi := mat.Orth(om)
-	if vi.Cols == 0 {
-		return nil, fmt.Errorf("randubv: degenerate initial sketch")
-	}
-	uPrev := mat.NewDense(m, 0)
-	vAll := vi.Clone()
-	uAll := mat.NewDense(m, 0)
-	type blockPair struct {
-		r      *mat.Dense
-		s      *mat.Dense
-		uw, vw int
-	}
+	var vi, uPrev, vAll, uAll *mat.Dense
 	var blocks []blockPair
 
-	for iter := 1; ; iter++ {
+	// Resume from the newest complete checkpoint cut, if one exists. The
+	// initial sketch is skipped entirely: the restored iterates already
+	// embed it, so the RNG is not consulted on a resumed run.
+	startIter := 0
+	resumed := false
+	if opts.Checkpoint != nil {
+		if it, states, ok := opts.Checkpoint.Latest(p); ok {
+			s := states[c.Rank()].(*ubvSnapshot)
+			startIter = it
+			resumed = true
+			e = s.e
+			vi = s.vi.Clone()
+			uPrev = s.uPrev.Clone()
+			vAll = s.vAll.Clone()
+			uAll = s.uAll.Clone()
+			blocks = cloneBlocks(s.blocks)
+			res.Iters = it
+			res.ErrIndicator = s.errIndicator
+			res.ErrHistory = append([]float64(nil), s.errHistory...)
+			res.TimeHistory = append([]time.Duration(nil), s.timeHistory...)
+		}
+	}
+	if !resumed {
+		om := mat.NewDense(n, min(k, maxRank))
+		for i := range om.Data {
+			om.Data[i] = rng.NormFloat64()
+		}
+		chargeTSQR(float64(n), om.Cols)
+		vi = mat.Orth(om)
+		if vi.Cols == 0 {
+			return nil, fmt.Errorf("randubv: degenerate initial sketch")
+		}
+		uPrev = mat.NewDense(m, 0)
+		vAll = vi.Clone()
+		uAll = mat.NewDense(m, 0)
+	}
+
+	for iter := startIter + 1; ; iter++ {
 		if c.Tracing() {
 			c.Annotate(fmt.Sprintf("RandUBV iter %d", iter))
 		}
@@ -178,6 +199,19 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 		vAll = mat.HStack(vAll, vNext)
 		uPrev = ui
 		vi = vNext
+		if opts.Checkpoint != nil && opts.CheckpointEvery > 0 && iter%opts.CheckpointEvery == 0 {
+			opts.Checkpoint.Save(iter, c.Rank(), &ubvSnapshot{
+				e:            e,
+				vi:           vi.Clone(),
+				uPrev:        uPrev.Clone(),
+				vAll:         vAll.Clone(),
+				uAll:         uAll.Clone(),
+				blocks:       cloneBlocks(blocks),
+				errIndicator: res.ErrIndicator,
+				errHistory:   append([]float64(nil), res.ErrHistory...),
+				timeHistory:  append([]time.Duration(nil), res.TimeHistory...),
+			})
+		}
 		if ind := math.Sqrt(e); ind < opts.Tol*normA {
 			res.ErrIndicator = ind
 			res.ErrHistory[len(res.ErrHistory)-1] = ind
@@ -211,6 +245,38 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	res.V = vAll
 	res.Rank = ku
 	return res, nil
+}
+
+// blockPair is one block row of the bidiagonal B under assembly: the
+// diagonal R_i, the superdiagonal S_iᵀ (nil for the last block) and the
+// numerical widths they contribute.
+type blockPair struct {
+	r      *mat.Dense
+	s      *mat.Dense
+	uw, vw int
+}
+
+// ubvSnapshot is one rank's RandUBV loop state at an iteration boundary.
+// All fields are deep copies; the iterates are replicated so every rank
+// snapshots the same values.
+type ubvSnapshot struct {
+	e                     float64
+	vi, uPrev, vAll, uAll *mat.Dense
+	blocks                []blockPair
+	errIndicator          float64
+	errHistory            []float64
+	timeHistory           []time.Duration
+}
+
+func cloneBlocks(blocks []blockPair) []blockPair {
+	out := make([]blockPair, len(blocks))
+	for i, b := range blocks {
+		out[i] = blockPair{r: b.r.Clone(), uw: b.uw, vw: b.vw}
+		if b.s != nil {
+			out[i].s = b.s.Clone()
+		}
+	}
+	return out
 }
 
 func rowShare(rows, p, rank int) (lo, hi int) {

@@ -1,0 +1,104 @@
+package randubv
+
+import (
+	"errors"
+	"testing"
+
+	"sparselr/internal/dist"
+)
+
+func distCfg() dist.Config { return dist.Config{Alpha: 1e-6, Beta: 1e-9, Gamma: 1e-9} }
+
+func faultOpts() Options {
+	return Options{BlockSize: 4, Tol: 1e-8, Seed: 7}
+}
+
+func TestFactorDistInjectedCrash(t *testing.T) {
+	a := decayMatrix(60, 50, 30, 0.6, 101)
+	base, err := dist.RunE(4, distCfg(), func(c *dist.Comm) error {
+		_, err := FactorDist(c, a, faultOpts())
+		return err
+	})
+	if err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+	crashAt := base.MaxTime() / 2
+	cfg := distCfg()
+	cfg.Fault = &dist.FaultPlan{Crashes: []dist.Crash{{Rank: 3, At: crashAt}}}
+	_, err = dist.RunE(4, cfg, func(c *dist.Comm) error {
+		_, err := FactorDist(c, a, faultOpts())
+		return err
+	})
+	var re *dist.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *RankError, got %v", err)
+	}
+	if re.Rank != 3 || re.VirtualTime != crashAt {
+		t.Fatalf("crash reported as rank %d at t=%v, want rank 3 at t=%v", re.Rank, re.VirtualTime, crashAt)
+	}
+	if !errors.Is(err, dist.ErrInjectedCrash) {
+		t.Fatalf("error does not wrap ErrInjectedCrash: %v", err)
+	}
+}
+
+func TestFactorDistCheckpointRestartBitIdentical(t *testing.T) {
+	a := decayMatrix(60, 50, 30, 0.6, 101)
+	const p = 2
+	run := func(opts Options, cfg dist.Config) (*Result, error) {
+		var out *Result
+		_, err := dist.RunE(p, cfg, func(c *dist.Comm) error {
+			r, err := FactorDist(c, a, opts)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out = r
+			}
+			return nil
+		})
+		return out, err
+	}
+	want, err := run(faultOpts(), distCfg())
+	if err != nil {
+		t.Fatalf("uninterrupted run failed: %v", err)
+	}
+	if want.Iters < 3 {
+		t.Fatalf("test needs a multi-iteration run, got %d iterations", want.Iters)
+	}
+
+	store := dist.NewCheckpointStore()
+	opts := faultOpts()
+	opts.CheckpointEvery = 1
+	opts.Checkpoint = store
+	base, _ := dist.RunE(p, distCfg(), func(c *dist.Comm) error { _, err := FactorDist(c, a, faultOpts()); return err })
+	cfg := distCfg()
+	cfg.Fault = &dist.FaultPlan{Crashes: []dist.Crash{{Rank: 0, At: 0.6 * base.MaxTime()}}}
+	if _, err := run(opts, cfg); err == nil {
+		t.Fatal("faulted run should fail")
+	}
+	if _, _, ok := store.Latest(p); !ok {
+		t.Fatal("no complete checkpoint survived the crash")
+	}
+	got, err := run(opts, distCfg())
+	if err != nil {
+		t.Fatalf("restarted run failed: %v", err)
+	}
+
+	if got.Rank != want.Rank || got.Iters != want.Iters || got.Converged != want.Converged {
+		t.Fatalf("restart diverged: rank %d/%d iters %d/%d", got.Rank, want.Rank, got.Iters, want.Iters)
+	}
+	same := func(name string, x, y []float64) {
+		if len(x) != len(y) {
+			t.Fatalf("%s length differs after restart", name)
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s element %d differs after restart: %v != %v", name, i, x[i], y[i])
+			}
+		}
+	}
+	same("U", got.U.Data, want.U.Data)
+	same("B", got.B.Data, want.B.Data)
+	same("V", got.V.Data, want.V.Data)
+	same("ErrHistory", got.ErrHistory, want.ErrHistory)
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sparselr/internal/dist"
 	"sparselr/internal/mat"
 	"sparselr/internal/sparse"
 )
@@ -26,6 +27,13 @@ type Options struct {
 	Tol       float64 // τ
 	MaxRank   int     // cap on K; 0 means min(m, n)
 	Seed      int64
+
+	// CheckpointEvery > 0 makes FactorDist save each rank's loop state
+	// into Checkpoint at the end of every CheckpointEvery-th iteration;
+	// a complete snapshot already in Checkpoint resumes the run to a
+	// bit-identical result. Ignored by the sequential Factor.
+	CheckpointEvery int
+	Checkpoint      *dist.CheckpointStore
 }
 
 func (o *Options) defaults() {

@@ -3,7 +3,9 @@
 #   1. go vet ./...
 #   2. go build ./...
 #   3. go test ./...           (tier-1)
-#   4. go test -race over the packages with parallel kernels
+#   4. go test -race over the packages with parallel kernels and the
+#      fault-injection paths, under a watchdog -timeout so a deadlock
+#      regression fails the gate instead of hanging it
 #   5. doc-link check: relative links in *.md must resolve
 #   6. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
 #   7. dist collective micro-benchmarks (traced vs untraced) -> BENCH_dist.json
@@ -11,6 +13,7 @@
 # Environment knobs:
 #   SKIP_BENCH=1    skip steps 6-7
 #   BENCHTIME=...   per-benchmark budget for steps 6-7 (default 200ms)
+#   TESTTIMEOUT=... watchdog for steps 3-4 (default 10m)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,10 +24,12 @@ echo "== go build ./..."
 go build ./...
 
 echo "== go test ./..."
-go test ./...
+go test -timeout "${TESTTIMEOUT:-10m}" ./...
 
-echo "== go test -race (kernel packages)"
-go test -race ./internal/mat ./internal/sparse ./internal/dist
+echo "== go test -race (kernel + fault-injection packages, watchdog timeout)"
+go test -race -timeout "${TESTTIMEOUT:-10m}" \
+    ./internal/mat ./internal/sparse \
+    ./internal/dist/... ./internal/randqb/... ./internal/randubv/... ./internal/lucrtp/...
 
 echo "== doc-link check (*.md relative links)"
 bad=0
