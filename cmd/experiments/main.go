@@ -10,12 +10,15 @@
 //	experiments -run table2 -scale medium -matrices M2,M5
 //	experiments -run fig1left -suite 197
 //	experiments -run fig4 -breakdown -tracedir traces/
+//	experiments -run sketch -scale medium -sketchnnz 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,7 +28,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "table1|table2|fig1left|fig1right|fig2|fig3|fig4|fig5|fig6|chaos|all")
+		run      = flag.String("run", "all", "table1|table2|fig1left|fig1right|fig2|fig3|fig4|fig5|fig6|sketch|chaos|all")
 		scale    = flag.String("scale", "small", "small|medium|large")
 		matrices = flag.String("matrices", "", "comma-separated Table I labels (empty = all)")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
@@ -36,8 +39,15 @@ func main() {
 		brk      = flag.Bool("breakdown", false, "figs 4-6: print the trace-derived compute/comm/wait split and critical path per run")
 		traceDir = flag.String("tracedir", "", "figs 4-6: export each distributed run as Chrome trace_event JSON into this directory")
 		chaos    = flag.Bool("chaos", false, "run the fault-injection survival sweep (same as -run chaos)")
+		sketchN  = flag.Int("sketchnnz", 0, "sketch sweep: SparseSign nonzeros per row (0 = default)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	defer writeMemProfile(*memProf)
+	if stop := startCPUProfile(*cpuProf); stop != nil {
+		defer stop()
+	}
 
 	var sc gen.Scale
 	switch *scale {
@@ -54,7 +64,7 @@ func main() {
 	cfg := experiments.Config{
 		Scale: sc, Out: os.Stdout, Seed: *seed,
 		MaxProcs: *maxProcs, SuiteSize: *suite, SweepBest: *sweep,
-		Breakdown: *brk, TraceDir: *traceDir,
+		Breakdown: *brk, TraceDir: *traceDir, SketchNNZ: *sketchN,
 	}
 	if *matrices != "" {
 		cfg.Matrices = strings.Split(*matrices, ",")
@@ -67,12 +77,13 @@ func main() {
 		"fig1right": func() {
 			experiments.RunFig1Right(cfg)
 		},
-		"fig2":  func() { experiments.RunFig2(cfg) },
-		"fig3":  func() { experiments.RunFig3(cfg) },
-		"fig4":  func() { experiments.RunFig4(cfg) },
-		"fig5":  func() { experiments.RunFig5(cfg) },
-		"fig6":  func() { experiments.RunFig6(cfg) },
-		"chaos": func() { experiments.RunChaos(cfg) },
+		"fig2":   func() { experiments.RunFig2(cfg) },
+		"fig3":   func() { experiments.RunFig3(cfg) },
+		"fig4":   func() { experiments.RunFig4(cfg) },
+		"fig5":   func() { experiments.RunFig5(cfg) },
+		"fig6":   func() { experiments.RunFig6(cfg) },
+		"sketch": func() { experiments.RunSketch(cfg) },
+		"chaos":  func() { experiments.RunChaos(cfg) },
 	}
 	// The chaos sweep is opt-in (robustness, not a paper artifact), so
 	// "all" keeps reproducing exactly the paper's tables and figures.
@@ -94,5 +105,43 @@ func main() {
 		fmt.Printf("==== %s (scale=%s) ====\n", name, *scale)
 		r()
 		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start))
+	}
+}
+
+// startCPUProfile begins CPU profiling into path (empty = off) and
+// returns the stop function, or nil.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps a GC-settled heap profile to path (empty = off).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
 	}
 }

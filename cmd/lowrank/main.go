@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -26,6 +28,7 @@ import (
 	"sparselr/internal/dist"
 	"sparselr/internal/gen"
 	"sparselr/internal/lucrtp"
+	"sparselr/internal/sketch"
 	"sparselr/internal/sparse"
 )
 
@@ -43,8 +46,16 @@ func main() {
 		verify  = flag.Bool("verify", true, "evaluate the exact error ‖A−Â‖_F as a cross-check")
 		brk     = flag.Bool("breakdown", false, "np>1: trace the run and print per-rank time splits, collective histograms and the critical path")
 		traceF  = flag.String("trace", "", "np>1: write the run's Chrome trace_event JSON to this file (implies tracing)")
+		sketchK = flag.String("sketch", "gaussian", "sketching operator for the randomized methods: gaussian|sparsesign|srtt")
+		sketchN = flag.Int("sketchnnz", 0, "sparsesign nonzeros per Ω row (0 = default)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	defer writeMemProfile(*memProf)
+	if stop := startCPUProfile(*cpuProf); stop != nil {
+		defer stop()
+	}
 
 	a, name, err := loadMatrix(*matrix, *scale)
 	if err != nil {
@@ -56,12 +67,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lowrank:", err2)
 		os.Exit(1)
 	}
+	sketchKind, err3 := sketch.ParseKind(*sketchK)
+	if err3 != nil {
+		fmt.Fprintln(os.Stderr, "lowrank:", err3)
+		os.Exit(1)
+	}
 	r, c := a.Dims()
 	fmt.Printf("matrix %s: %d×%d, nnz=%d, density=%.4g\n", name, r, c, a.NNZ(), a.Density())
 
 	opts := core.Options{
 		Method: m, BlockSize: *k, Tol: *tol, Power: *power,
 		Seed: *seed, Procs: *np, MaxRank: *maxRank,
+		Sketch: sketchKind, SketchNNZ: *sketchN,
 	}
 	var tr *dist.Trace
 	if *np > 1 && (*brk || *traceF != "") {
@@ -105,6 +122,44 @@ func main() {
 	if *verify {
 		te := ap.TrueError(a)
 		fmt.Printf("true error    %.6g  (%.4g × τ‖A‖_F)\n", te, te/(*tol*ap.NormA))
+	}
+}
+
+// startCPUProfile begins CPU profiling into path (empty = off) and
+// returns the stop function, or nil.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowrank: cpuprofile:", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "lowrank: cpuprofile:", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps a GC-settled heap profile to path (empty = off).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowrank: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "lowrank: memprofile:", err)
 	}
 }
 

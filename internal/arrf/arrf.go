@@ -16,9 +16,9 @@ package arrf
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"sparselr/internal/mat"
+	"sparselr/internal/sketch"
 	"sparselr/internal/sparse"
 )
 
@@ -28,6 +28,11 @@ type Options struct {
 	Window  int     // r, the probe-window size (default 10)
 	MaxRank int     // cap (0 = min(m,n))
 	Seed    int64
+	// Sketch selects the operator drawing the probe vectors (default
+	// Gaussian reproduces historical results bit-for-bit); SketchNNZ
+	// configures SparseSign.
+	Sketch    sketch.Kind
+	SketchNNZ int
 	// RelativeToFrob interprets Tol against ‖A‖_F (matching the other
 	// methods' termination); false interprets it as an absolute bound.
 	RelativeToFrob bool
@@ -52,13 +57,14 @@ type Result struct {
 	Probes int
 }
 
-// ResidualNorm computes ‖A − QQᵀA‖_F exactly (for verification).
+// ResidualNorm computes ‖A − QQᵀA‖_F exactly (for verification) by
+// streaming the CSR rows of A against L = Q and R = QᵀA — neither A nor
+// the m×m projector is ever densified.
 func ResidualNorm(a *sparse.CSR, r *Result) float64 {
-	d := a.ToDense()
-	proj := mat.Mul(r.Q, r.Q.T())
-	approx := mat.Mul(proj, d)
-	d.Sub(approx)
-	return d.FrobNorm()
+	if r.Q.Cols == 0 {
+		return a.FrobNorm()
+	}
+	return a.ResidualFrobNorm(r.Q, a.MulTDense(r.Q).T())
 }
 
 // Factor grows the adaptive basis on a.
@@ -72,7 +78,7 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 	if maxRank <= 0 || maxRank > min(m, n) {
 		maxRank = min(m, n)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	sk := sketch.New(opts.Sketch, n, opts.Seed, opts.SketchNNZ)
 	normA := a.FrobNorm()
 	res := &Result{NormA: normA}
 	target := opts.Tol
@@ -84,11 +90,22 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 	threshold := target / (10 * math.Sqrt(2/math.Pi))
 	r := opts.Window
 
+	// probe draws one sketch column ω and returns y = A·ω as a fresh
+	// vector (the window owns its probes). An m×1 product accumulates per
+	// CSR row in the same ascending order as the historical MulVec, so the
+	// default Gaussian probes are bit-identical.
+	probe := func() []float64 {
+		blk := sk.Next(1)
+		y := mat.NewDense(m, 1)
+		blk.MulCSRInto(y, a)
+		res.Probes++
+		return y.Data
+	}
+
 	// Draw the initial window of probe vectors y_i = A·ω_i.
 	window := make([][]float64, r)
 	for i := range window {
-		window[i] = a.MulVec(gaussVec(rng, n))
-		res.Probes++
+		window[i] = probe()
 	}
 	var qCols [][]float64
 	basisDot := func(v []float64) {
@@ -122,8 +139,7 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 		nv := mat.Nrm2(y)
 		if nv < 1e-14*normA {
 			// Degenerate probe: replace it and continue.
-			w := a.MulVec(gaussVec(rng, n))
-			res.Probes++
+			w := probe()
 			basisDot(w)
 			window = append(window, w)
 			continue
@@ -136,8 +152,7 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 		// Draw a replacement probe and project it (Alg 4.2 step 3b),
 		// then re-project the remaining window vectors against the new
 		// direction (step 3c).
-		w := a.MulVec(gaussVec(rng, n))
-		res.Probes++
+		w := probe()
 		basisDot(w)
 		window = append(window, w)
 		for _, y := range window[:len(window)-1] {
@@ -153,14 +168,6 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 	res.Q = q
 	res.Rank = len(qCols)
 	return res, nil
-}
-
-func gaussVec(rng *rand.Rand, n int) []float64 {
-	v := make([]float64, n)
-	for i := range v {
-		v[i] = rng.NormFloat64()
-	}
-	return v
 }
 
 func min(a, b int) int {

@@ -23,6 +23,7 @@ import (
 	"sparselr/internal/randqb"
 	"sparselr/internal/randubv"
 	"sparselr/internal/rsvd"
+	"sparselr/internal/sketch"
 	"sparselr/internal/sparse"
 	"sparselr/internal/tsvd"
 )
@@ -106,6 +107,12 @@ type Options struct {
 	// Randomized-method knobs.
 	Power int   // RandQB_EI power parameter p ∈ [0,3]
 	Seed  int64 // PRNG seed
+	// Sketch selects the sketching operator of the randomized methods
+	// (RandQB_EI, RandUBV, RSVD, ARRF); the default Gaussian reproduces
+	// historical results bit-for-bit. SketchNNZ sets the per-row nonzero
+	// count of the SparseSign sketch (0 → sketch.DefaultSparseNNZ).
+	Sketch    sketch.Kind
+	SketchNNZ int
 
 	// Deterministic-method knobs.
 	EstIters            int     // u of eq (24) for ILUT_CRTP (0 → 10)
@@ -181,9 +188,13 @@ func (ap *Approximation) TrueError(a *sparse.CSR) float64 {
 	case ap.UBV != nil:
 		return randubv.TrueError(a, ap.UBV)
 	case ap.SVD != nil:
-		diff := a.ToDense()
-		diff.Sub(ap.SVD.Approx())
-		return diff.FrobNorm()
+		us := ap.SVD.U.Clone()
+		for j := 0; j < len(ap.SVD.S); j++ {
+			for i := 0; i < us.Rows; i++ {
+				us.Set(i, j, us.At(i, j)*ap.SVD.S[j])
+			}
+		}
+		return a.ResidualFrobNorm(us, ap.SVD.V.T())
 	case ap.RS != nil:
 		return rsvd.TrueError(a, ap.RS)
 	case ap.ARRF != nil:
@@ -243,6 +254,7 @@ func Approximate(a *sparse.CSR, opts Options) (*Approximation, error) {
 		r, err := randqb.Factor(a, randqb.Options{
 			BlockSize: opts.BlockSize, Tol: opts.Tol, Power: opts.Power,
 			MaxRank: opts.MaxRank, Seed: opts.Seed,
+			Sketch: opts.Sketch, SketchNNZ: opts.SketchNNZ,
 		})
 		if err != nil {
 			return nil, err
@@ -254,6 +266,7 @@ func Approximate(a *sparse.CSR, opts Options) (*Approximation, error) {
 	case RandUBV:
 		r, err := randubv.Factor(a, randubv.Options{
 			BlockSize: opts.BlockSize, Tol: opts.Tol, MaxRank: opts.MaxRank, Seed: opts.Seed,
+			Sketch: opts.Sketch, SketchNNZ: opts.SketchNNZ,
 		})
 		if err != nil {
 			return nil, err
@@ -307,6 +320,7 @@ func Approximate(a *sparse.CSR, opts Options) (*Approximation, error) {
 		r, err := rsvd.Factor(a, rsvd.Options{
 			InitialRank: opts.BlockSize, Tol: opts.Tol, Power: opts.Power,
 			MaxRank: opts.MaxRank, Seed: opts.Seed,
+			Sketch: opts.Sketch, SketchNNZ: opts.SketchNNZ,
 		})
 		if err != nil {
 			return nil, err
@@ -319,6 +333,7 @@ func Approximate(a *sparse.CSR, opts Options) (*Approximation, error) {
 		r, err := arrf.Factor(a, arrf.Options{
 			Tol: opts.Tol, RelativeToFrob: true,
 			MaxRank: opts.MaxRank, Seed: opts.Seed,
+			Sketch: opts.Sketch, SketchNNZ: opts.SketchNNZ,
 		})
 		if err != nil {
 			return nil, err
@@ -351,6 +366,7 @@ func approximateDist(a *sparse.CSR, opts Options) (*Approximation, error) {
 			r, err := randqb.FactorDist(c, a, randqb.Options{
 				BlockSize: opts.BlockSize, Tol: opts.Tol, Power: opts.Power,
 				MaxRank: opts.MaxRank, Seed: opts.Seed,
+				Sketch: opts.Sketch, SketchNNZ: opts.SketchNNZ,
 				CheckpointEvery: opts.CheckpointEvery, Checkpoint: opts.CheckpointStore,
 			})
 			if err != nil {
@@ -401,6 +417,7 @@ func approximateDist(a *sparse.CSR, opts Options) (*Approximation, error) {
 			r, err := randubv.FactorDist(c, a, randubv.Options{
 				BlockSize: opts.BlockSize, Tol: opts.Tol,
 				MaxRank: opts.MaxRank, Seed: opts.Seed,
+				Sketch: opts.Sketch, SketchNNZ: opts.SketchNNZ,
 				CheckpointEvery: opts.CheckpointEvery, Checkpoint: opts.CheckpointStore,
 			})
 			if err != nil {

@@ -34,6 +34,9 @@ type Config struct {
 	// Chrome trace_event JSON (fig4_M2_LU_CRTP_np8.json, ...) loadable
 	// in chrome://tracing or Perfetto.
 	TraceDir string
+	// SketchNNZ sets the SparseSign per-row nonzero count used by the
+	// sketch sweep (0 → sketch.DefaultSparseNNZ).
+	SketchNNZ int
 }
 
 // tracing reports whether the Fig 4–6 drivers should attach a tracer.

@@ -47,6 +47,16 @@ func MulSub(dst, a, b *Dense) {
 	gemmInto(dst, a, b, -1, true)
 }
 
+// MulInto computes dst = a·b, overwriting dst. It is the allocation-free
+// form of Mul for callers that own a destination buffer; the value written
+// is bitwise identical to Mul's.
+func MulInto(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulInto dimension mismatch")
+	}
+	gemmInto(dst, a, b, 1, false)
+}
+
 // gemmInto computes dst = (dst +) alpha·a·b. When accumulate is false dst
 // is zeroed first. alpha is folded into the packed B panel (or the A
 // element on the serial path), which is exact for alpha = ±1 — the only
@@ -69,7 +79,9 @@ func gemmInto(dst, a, b *Dense, alpha float64, accumulate bool) {
 		gemmSerial(dst, a, b, alpha, 0, m)
 		return
 	}
-	buf := make([]float64, min(kk, gemmKC)*min(n, gemmNC))
+	bufp := GetScratch(min(kk, gemmKC) * min(n, gemmNC))
+	defer PutScratch(bufp)
+	buf := *bufp
 	for jc := 0; jc < n; jc += gemmNC {
 		nc := min(gemmNC, n-jc)
 		for pc := 0; pc < kk; pc += gemmKC {
@@ -172,15 +184,31 @@ func MulT(a, b *Dense) *Dense {
 		panic("mat: MulT dimension mismatch")
 	}
 	out := NewDense(a.Cols, b.Cols)
+	mulTInto(out, a, b)
+	return out
+}
+
+// MulTInto computes dst = aᵀ·b, overwriting dst. It is the allocation-free
+// form of MulT; the value written is bitwise identical to MulT's.
+func MulTInto(dst, a, b *Dense) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("mat: MulTInto dimension mismatch")
+	}
+	dst.Zero()
+	mulTInto(dst, a, b)
+}
+
+// mulTInto accumulates aᵀ·b into the (already zeroed) out with the same
+// serial/parallel branching for both MulT and MulTInto.
+func mulTInto(out, a, b *Dense) {
 	work := a.Rows * a.Cols * b.Cols
 	if work < mulTParallelThreshold || runtime.GOMAXPROCS(0) < 2 || b.Cols < 2*mulTColGrain {
 		mulTCols(out, a, b, 0, b.Cols)
-		return out
+		return
 	}
 	ParallelFor(b.Cols, mulTColGrain, func(lo, hi int) {
 		mulTCols(out, a, b, lo, hi)
 	})
-	return out
 }
 
 // mulTCols accumulates columns [lo, hi) of out = aᵀ·b.

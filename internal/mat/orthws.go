@@ -1,0 +1,84 @@
+package mat
+
+import "math"
+
+// OrthWorkspace computes orthonormal range bases with reusable, grow-only
+// storage so solver block iterations can re-orthogonalize every step
+// without heap traffic. It shares the pivoted-factorization core
+// (qrcpFactor) and the reflector application with Orth/QRCP, so its output
+// is bitwise identical to Orth for every input.
+//
+// A workspace is not safe for concurrent use. The matrix returned by Orth
+// is a view into workspace storage and stays valid only until the next
+// call on the same workspace; the input of a call may alias the previous
+// result (the input is copied out before any buffer is reused).
+type OrthWorkspace struct {
+	f       Buffer // factored copy of the input
+	q       Buffer // explicit thin-Q storage
+	tau     []float64
+	norms   []float64
+	orig    []float64
+	scratch []float64
+	perm    []int
+	qf      qrFactor
+	ret     Dense
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// Orth returns an orthonormal basis for the range of a, dropping
+// numerically dependent columns — the same result, bit for bit, as the
+// package-level Orth. Steady-state calls allocate nothing when
+// min(m, n) < qrBlockedMinK (larger inputs take the blocked-QR path,
+// which builds its WY panels on the heap, exactly as Orth does).
+func (ws *OrthWorkspace) Orth(a *Dense) *Dense {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return ws.q.Shape(m, 0)
+	}
+	k := min(m, n)
+	// Copy the input before touching q: a may alias the previous result.
+	f := ws.f.Shape(m, n)
+	f.CopyFrom(a)
+	ws.tau = growF64(ws.tau, k)
+	ws.norms = growF64(ws.norms, n)
+	ws.orig = growF64(ws.orig, n)
+	ws.scratch = growF64(ws.scratch, n)
+	ws.perm = growInt(ws.perm, n)
+	qrcpFactor(f, ws.tau, ws.norms, ws.orig, ws.scratch, ws.perm)
+	// Numerical rank from the QRCP diagonal (same rule as Orth).
+	d0 := math.Abs(f.Data[0])
+	if d0 == 0 {
+		return ws.q.Shape(m, 0)
+	}
+	tol := d0 * 1e-13 * float64(max(m, n))
+	rank := 0
+	for i := 0; i < k; i++ {
+		if math.Abs(f.Data[i*f.Stride+i]) > tol {
+			rank++
+		} else {
+			break
+		}
+	}
+	// Form thin Q in workspace storage (the thinQ path with pooled scratch).
+	e := ws.q.ShapeZero(m, k)
+	for i := 0; i < k; i++ {
+		e.Data[i*e.Stride+i] = 1
+	}
+	ws.qf = qrFactor{fac: f, tau: ws.tau}
+	ws.qf.applyQScratch(e, ws.scratch)
+	ws.ret = Dense{Rows: m, Cols: rank, Stride: e.Stride, Data: e.Data}
+	return &ws.ret
+}

@@ -121,3 +121,70 @@ func ChunkGrain(n int) int {
 	}
 	return g
 }
+
+// Scratch pools. Kernels that need a transient accumulator or packing
+// buffer draw it from these pools instead of the heap, so steady-state
+// solver iterations stop churning the GC. Both pools hand out grow-only
+// storage: a pooled object whose capacity is too small is simply
+// replaced by a larger one.
+
+var scratchPool = sync.Pool{New: func() any { p := make([]float64, 0); return &p }}
+
+// GetScratch returns a pooled float64 slice of length n with unspecified
+// contents. Release it with PutScratch when done.
+func GetScratch(n int) *[]float64 {
+	p := scratchPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutScratch returns a slice obtained from GetScratch to the pool.
+func PutScratch(p *[]float64) { scratchPool.Put(p) }
+
+var densePool = sync.Pool{New: func() any { return new(Dense) }}
+
+// GetDense returns a pooled, zeroed r×c matrix. Release it with PutDense
+// when done; the matrix must not be retained past that call.
+func GetDense(r, c int) *Dense {
+	d := densePool.Get().(*Dense)
+	if cap(d.Data) < r*c {
+		d.Data = make([]float64, r*c)
+	}
+	d.Rows, d.Cols, d.Stride = r, c, c
+	d.Data = d.Data[:r*c]
+	d.Zero()
+	return d
+}
+
+// PutDense returns a matrix obtained from GetDense to the pool.
+func PutDense(d *Dense) { densePool.Put(d) }
+
+// Buffer is a grow-only scratch matrix for per-iteration solver
+// workspaces: Shape reuses the buffer's backing storage as a compact r×c
+// matrix, reallocating only when the requested size first exceeds the
+// capacity. The returned header is owned by the Buffer and is
+// invalidated by the next Shape call.
+type Buffer struct {
+	data []float64
+	hdr  Dense
+}
+
+// Shape returns the buffer viewed as an r×c matrix with unspecified
+// contents (kernels that overwrite their destination need no zeroing).
+func (b *Buffer) Shape(r, c int) *Dense {
+	if need := r * c; cap(b.data) < need {
+		b.data = make([]float64, need)
+	}
+	b.hdr = Dense{Rows: r, Cols: c, Stride: c, Data: b.data[:r*c]}
+	return &b.hdr
+}
+
+// ShapeZero returns the buffer viewed as a zeroed r×c matrix.
+func (b *Buffer) ShapeZero(r, c int) *Dense {
+	d := b.Shape(r, c)
+	d.Zero()
+	return d
+}

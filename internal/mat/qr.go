@@ -303,26 +303,34 @@ func (qf *qrFactor) applyReflector(b *Dense, j int, s []float64) {
 	for c := 0; c < w; c++ {
 		jrow[c] -= s[c]
 	}
-	update := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			vi := fd[i*fst+j]
-			if vi == 0 {
-				continue
-			}
-			row := b.Row(i)
-			for c := 0; c < w; c++ {
-				row[c] -= s[c] * vi
-			}
-		}
-	}
 	rows := m - (j + 1)
 	if rows*w >= qrParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
 		ParallelFor(rows, qrRowGrain, func(lo, hi int) {
-			update(j+1+lo, j+1+hi)
+			qf.reflectorUpdateRows(b, j, s, j+1+lo, j+1+hi)
 		})
 		return
 	}
-	update(j+1, m)
+	qf.reflectorUpdateRows(b, j, s, j+1, m)
+}
+
+// reflectorUpdateRows runs pass 2 of applyReflector over rows [lo, hi).
+// It is a named method (not a closure inside applyReflector) so the
+// serial path stays allocation-free: a closure created for ParallelFor
+// escapes to the heap even on calls that never reach the parallel branch.
+func (qf *qrFactor) reflectorUpdateRows(b *Dense, j int, s []float64, lo, hi int) {
+	fst := qf.fac.Stride
+	fd := qf.fac.Data
+	w := b.Cols
+	for i := lo; i < hi; i++ {
+		vi := fd[i*fst+j]
+		if vi == 0 {
+			continue
+		}
+		row := b.Row(i)
+		for c := 0; c < w; c++ {
+			row[c] -= s[c] * vi
+		}
+	}
 }
 
 // wyBlocks returns (building lazily) the compact-WY representation of the
@@ -345,11 +353,20 @@ func (qf *qrFactor) wyBlocks() []wyBlock {
 // panel-at-a-time in compact-WY form (GEMM); small ones reflector-by-
 // reflector, matching the pre-blocking implementation bitwise.
 func (qf *qrFactor) applyQ(b *Dense) {
+	qf.applyQScratch(b, nil)
+}
+
+// applyQScratch is applyQ with caller-provided reflector scratch (len ≥
+// b.Cols); a nil s falls back to a fresh allocation. Workspace callers pass
+// pooled scratch so the unblocked path allocates nothing.
+func (qf *qrFactor) applyQScratch(b *Dense, s []float64) {
 	if b.Rows != qf.fac.Rows {
 		panic("mat: applyQ dimension mismatch")
 	}
 	if len(qf.tau) < qrBlockedMinK {
-		s := make([]float64, b.Cols)
+		if s == nil {
+			s = make([]float64, b.Cols)
+		}
 		// Q = H_1 H_2 ... H_k, so Q·b applies reflectors in reverse order.
 		for j := len(qf.tau) - 1; j >= 0; j-- {
 			qf.applyReflector(b, j, s)
@@ -472,14 +489,35 @@ func QRCP(a *Dense) (q, r *Dense, perm []int) {
 	k := min(m, n)
 	f := a.Clone()
 	perm = make([]int, n)
+	tau := make([]float64, k)
+	norms := make([]float64, n)
+	orig := make([]float64, n)
+	scratch := make([]float64, n)
+	qrcpFactor(f, tau, norms, orig, scratch, perm)
+	qf := &qrFactor{fac: f, tau: tau}
+	r = NewDense(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, f.At(i, j))
+		}
+	}
+	q = qf.thinQ(k)
+	return q, r, perm
+}
+
+// qrcpFactor runs the Businger–Golub pivoted factorization in place on f
+// with caller-provided storage: tau (len min(m,n)), norms/orig/scratch
+// (len n) and perm (len n). It is the single implementation behind QRCP
+// and OrthWorkspace, so pooled-workspace callers factor bitwise
+// identically to the allocating API.
+func qrcpFactor(f *Dense, tau, norms, orig, scratch []float64, perm []int) {
+	m, n := f.Dims()
+	k := min(m, n)
 	for j := range perm {
 		perm[j] = j
 	}
-	tau := make([]float64, k)
 	// Column norms (squared) with saved originals for the downdating
 	// recomputation guard.
-	norms := make([]float64, n)
-	orig := make([]float64, n)
 	for j := 0; j < n; j++ {
 		var s float64
 		for i := 0; i < m; i++ {
@@ -489,7 +527,6 @@ func QRCP(a *Dense) (q, r *Dense, perm []int) {
 		norms[j] = s
 		orig[j] = s
 	}
-	scratch := make([]float64, n)
 	for j := 0; j < k; j++ {
 		// Pivot: column of largest remaining norm.
 		best, bestv := j, norms[j]
@@ -526,15 +563,6 @@ func QRCP(a *Dense) (q, r *Dense, perm []int) {
 			}
 		}
 	}
-	qf := &qrFactor{fac: f, tau: tau}
-	r = NewDense(k, n)
-	for i := 0; i < k; i++ {
-		for j := i; j < n; j++ {
-			r.Set(i, j, f.At(i, j))
-		}
-	}
-	q = qf.thinQ(k)
-	return q, r, perm
 }
 
 // QRCPSelect runs QRCP and returns only the permutation and the R factor;

@@ -1,0 +1,89 @@
+package randqb
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparselr/internal/sketch"
+	"sparselr/internal/sparse"
+)
+
+func allocTestMatrix(m, n, nnzPerRow int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(m, n)
+	for i := 0; i < m; i++ {
+		for t := 0; t < nnzPerRow; t++ {
+			b.Add(i, rng.Intn(n), rng.NormFloat64())
+		}
+	}
+	return b.ToCSR()
+}
+
+// A steady-state RandQB_EI block iteration must not allocate: every
+// intermediate lives in a grow-only store or workspace. The dimensions
+// keep all kernels on their serial paths (spmm guard nnz·k, gemm guard
+// m·k·n, QR unblocked below qrBlockedMinK) so no worker closures are
+// spawned either.
+func TestStepAllocFree(t *testing.T) {
+	a := allocTestMatrix(80, 60, 4, 5)
+	st, err := newQBState(a, Options{BlockSize: 6, Power: 1, MaxRank: 18, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: run to the rank cap once so every store and workspace has
+	// grown to its steady-state capacity, then rewind the loop counters.
+	// The sketch stream keeps advancing across measured runs, which is
+	// fine — drawing from a warmed Gaussian sketcher is allocation-free.
+	for iter := 1; ; iter++ {
+		if st.step(iter) {
+			break
+		}
+	}
+	rewindK := st.opts.BlockSize * 2 // mid-run state: Q_K present, room to grow
+	e0 := st.res.NormA * st.res.NormA
+	hist := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		st.kCur = rewindK
+		st.e = e0
+		st.res.ErrHistory = st.res.ErrHistory[:hist]
+		st.res.TimeHistory = st.res.TimeHistory[:hist]
+		if done := st.step(2); done {
+			t.Fatal("step terminated during steady-state measurement")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state qb step allocates %v per run, want 0", allocs)
+	}
+}
+
+// The same property for the SparseSign sketch driving the iteration: the
+// structured sketch path must stay allocation-free end to end.
+func TestStepAllocFreeSparseSign(t *testing.T) {
+	a := allocTestMatrix(80, 60, 4, 7)
+	st, err := newQBState(a, Options{
+		BlockSize: 6, Power: 1, MaxRank: 18, Seed: 3,
+		Sketch: sketch.SparseSign, SketchNNZ: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 1; ; iter++ {
+		if st.step(iter) {
+			break
+		}
+	}
+	rewindK := st.opts.BlockSize * 2
+	e0 := st.res.NormA * st.res.NormA
+	allocs := testing.AllocsPerRun(20, func() {
+		st.kCur = rewindK
+		st.e = e0
+		st.res.ErrHistory = st.res.ErrHistory[:0]
+		st.res.TimeHistory = st.res.TimeHistory[:0]
+		if done := st.step(2); done {
+			t.Fatal("step terminated during steady-state measurement")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state qb step (sparsesign) allocates %v per run, want 0", allocs)
+	}
+}

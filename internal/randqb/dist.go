@@ -3,11 +3,11 @@ package randqb
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"sparselr/internal/dist"
 	"sparselr/internal/mat"
+	"sparselr/internal/sketch"
 	"sparselr/internal/sparse"
 )
 
@@ -37,7 +37,7 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	if maxRank <= 0 || maxRank > min(m, n) {
 		maxRank = min(m, n)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	sk := sketch.New(opts.Sketch, n, opts.Seed, opts.SketchNNZ)
 	normA := a.FrobNorm()
 	res := &Result{NormA: normA}
 	if opts.Tol > 0 && opts.Tol < IndicatorBreakdownTol {
@@ -53,17 +53,16 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	qKLoc := mat.NewDense(hi-lo, 0)
 	bK := mat.NewDense(0, n)
 	start := time.Now()
-	draws := 0 // NormFloat64 calls consumed, for checkpoint resume
 
 	// Resume from the newest complete checkpoint cut, if one exists. The
-	// RNG is fast-forwarded by the recorded draw count so the remaining
-	// sketches are the ones the uninterrupted run would have drawn.
+	// sketch stream is fast-forwarded by the recorded draw count so the
+	// remaining sketches are the ones the uninterrupted run would have
+	// drawn.
 	startIter := 0
 	if opts.Checkpoint != nil {
 		if it, states, ok := opts.Checkpoint.Latest(p); ok {
 			s := states[c.Rank()].(*qbSnapshot)
 			startIter = it
-			draws = s.draws
 			e = s.e
 			qKLoc = s.qKLoc.Clone()
 			bK = s.bK.Clone()
@@ -73,9 +72,7 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 			res.TimeHistory = append([]time.Duration(nil), s.timeHistory...)
 			res.OrthLossFirst = s.orthLossFirst
 			res.OrthLossLast = s.orthLossLast
-			for i := 0; i < draws; i++ {
-				rng.NormFloat64()
-			}
+			sk.FastForward(s.draws)
 		}
 	}
 
@@ -114,6 +111,26 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 		)
 		return sumReduce(partial, "GEMM")
 	}
+	// innerSketch is innerGEMM against the current sketch block: each rank
+	// applies its inner-dimension slice of Ω through the structure-aware
+	// kernel and the partials reduce. For the Gaussian kind both the values
+	// and the virtual-clock charges match innerGEMM on the dense Ω exactly.
+	innerSketch := func(rep *mat.Dense, blk sketch.Block) *mat.Dense {
+		_, w := blk.Dims()
+		if rep.Rows == 0 {
+			return mat.NewDense(0, w)
+		}
+		if p == 1 {
+			c.Compute(blk.CostDense(rep.Rows, 0, n), "GEMM")
+			out := mat.NewDense(rep.Rows, w)
+			blk.MulDenseInto(out, rep)
+			return out
+		}
+		c.Compute(blk.CostDense(rep.Rows, nlo, nhi), "GEMM")
+		partial := mat.NewDense(rep.Rows, w)
+		blk.MulDenseRangeInto(partial, rep, nlo, nhi)
+		return sumReduce(partial, "GEMM")
+	}
 	// localCorrect computes yLoc -= qKLoc·s for a replicated small s.
 	localCorrect := func(yLoc, s *mat.Dense) {
 		if qKLoc.Cols == 0 {
@@ -132,13 +149,12 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 			break
 		}
 		kEff := min(k, maxRank-kNow)
-		om := gaussian(rng, n, kEff)
-		draws += n * kEff
+		blk := sk.Next(kEff)
 		// Y = A·Ω − Q_K(B_K·Ω), all row-local.
-		c.Compute(2*nnzLoc*float64(kEff), "SpMM")
-		yLoc := aLoc.MulDense(om)
+		c.Compute(blk.CostCSR(nnzLoc, hi-lo), "SpMM")
+		yLoc := blk.MulCSR(aLoc)
 		if kNow > 0 {
-			localCorrect(yLoc, innerGEMM(bK, om))
+			localCorrect(yLoc, innerSketch(bK, blk))
 		}
 		qkLoc := distTSQRLocal(c, yLoc, m, "orth/TSQR")
 		for r := 0; r < opts.Power; r++ {
@@ -195,7 +211,7 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 		}
 		if opts.Checkpoint != nil && opts.CheckpointEvery > 0 && iter%opts.CheckpointEvery == 0 {
 			opts.Checkpoint.Save(iter, c.Rank(), &qbSnapshot{
-				draws:         draws,
+				draws:         sk.Draws(),
 				e:             e,
 				qKLoc:         qKLoc.Clone(),
 				bK:            bK.Clone(),

@@ -3,11 +3,11 @@ package randubv
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"sparselr/internal/dist"
 	"sparselr/internal/mat"
+	"sparselr/internal/sketch"
 	"sparselr/internal/sparse"
 )
 
@@ -35,7 +35,7 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 	if maxRank <= 0 || maxRank > min(m, n) {
 		maxRank = min(m, n)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	sk := sketch.New(opts.Sketch, n, opts.Seed, opts.SketchNNZ)
 	normA := a.FrobNorm()
 	res := &Result{NormA: normA}
 	lo, hi := rowShare(m, p, c.Rank())
@@ -116,10 +116,7 @@ func FactorDist(c *dist.Comm, a *sparse.CSR, opts Options) (*Result, error) {
 		}
 	}
 	if !resumed {
-		om := mat.NewDense(n, min(k, maxRank))
-		for i := range om.Data {
-			om.Data[i] = rng.NormFloat64()
-		}
+		om := sk.Next(min(k, maxRank)).Dense()
 		chargeTSQR(float64(n), om.Cols)
 		vi = mat.Orth(om)
 		if vi.Cols == 0 {

@@ -13,11 +13,11 @@ package randubv
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"sparselr/internal/dist"
 	"sparselr/internal/mat"
+	"sparselr/internal/sketch"
 	"sparselr/internal/sparse"
 )
 
@@ -27,6 +27,11 @@ type Options struct {
 	Tol       float64 // τ
 	MaxRank   int     // cap on K; 0 means min(m, n)
 	Seed      int64
+	// Sketch selects the operator drawing the initial Ω (default Gaussian
+	// reproduces historical results bit-for-bit); SketchNNZ configures
+	// SparseSign.
+	Sketch    sketch.Kind
+	SketchNNZ int
 
 	// CheckpointEvery > 0 makes FactorDist save each rank's loop state
 	// into Checkpoint at the end of every CheckpointEvery-th iteration;
@@ -63,11 +68,11 @@ func (r *Result) Approx() *mat.Dense {
 	return mat.MulBT(mat.Mul(r.U, r.B), r.V)
 }
 
-// TrueError computes ‖A − U·B·Vᵀ‖_F exactly.
+// TrueError computes ‖A − U·B·Vᵀ‖_F exactly by streaming the CSR rows of
+// A against the compact factors L = U·B (m×K) and R = Vᵀ (K×n) — A is
+// never densified.
 func TrueError(a *sparse.CSR, r *Result) float64 {
-	diff := a.ToDense()
-	diff.Sub(r.Approx())
-	return diff.FrobNorm()
+	return a.ResidualFrobNorm(mat.Mul(r.U, r.B), r.V.T())
 }
 
 // Factor runs the randomized block bidiagonalization on a:
@@ -90,17 +95,14 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 	if maxRank <= 0 || maxRank > min(m, n) {
 		maxRank = min(m, n)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	sk := sketch.New(opts.Sketch, n, opts.Seed, opts.SketchNNZ)
 	normA := a.FrobNorm()
 	res := &Result{NormA: normA}
 	e := normA * normA
 	start := time.Now()
 
 	// Block sizes may shrink on deflation; track each block's width.
-	om := mat.NewDense(n, min(k, maxRank))
-	for i := range om.Data {
-		om.Data[i] = rng.NormFloat64()
-	}
+	om := sk.Next(min(k, maxRank)).Dense()
 	vi := mat.Orth(om)
 	if vi.Cols == 0 {
 		return nil, fmt.Errorf("randubv: degenerate initial sketch")
@@ -115,10 +117,15 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 		uw, vw int        // widths of U_i and V_i
 	}
 	var blocks []blockPair
+	// Reusable workspaces for the recurrence intermediates: the loop
+	// shapes them each iteration, so in steady state only the QR
+	// factorizations allocate.
+	var yBuf, wBuf, projBuf mat.Buffer
 
 	for iter := 1; ; iter++ {
 		// U_i R_i = qr(A·V_i − U_{i-1}·S_iᵀ).
-		y := a.MulDense(vi)
+		y := yBuf.Shape(m, vi.Cols)
+		a.MulDenseInto(y, vi)
 		if uPrev.Cols > 0 && len(blocks) > 0 && blocks[len(blocks)-1].s != nil {
 			mat.MulSub(y, uPrev, blocks[len(blocks)-1].s.T())
 		}
@@ -152,9 +159,11 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 		}
 		// W = Aᵀ·U_i − V_i·R_iᵀ, with one-sided reorthogonalization
 		// against all previous V blocks.
-		w := a.MulTDense(ui)
+		w := wBuf.Shape(n, ui.Cols)
+		a.MulTDenseInto(w, ui)
 		mat.MulSub(w, vi, ri.View(0, 0, ri.Rows, vi.Cols).T())
-		proj := mat.MulT(vAll, w)
+		proj := projBuf.Shape(vAll.Cols, w.Cols)
+		mat.MulTInto(proj, vAll, w)
 		mat.MulSub(w, vAll, proj)
 		vNext, sNext := mat.QR(w)
 		vw := numericalWidth(sNext, normA)

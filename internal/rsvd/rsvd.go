@@ -13,10 +13,10 @@ package rsvd
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"sparselr/internal/mat"
+	"sparselr/internal/sketch"
 	"sparselr/internal/sparse"
 )
 
@@ -28,6 +28,10 @@ type Options struct {
 	Tol          float64 // τ
 	MaxRank      int     // cap (0 = min(m,n))
 	Seed         int64
+	// Sketch selects the sketching operator (default Gaussian reproduces
+	// historical results bit-for-bit); SketchNNZ configures SparseSign.
+	Sketch    sketch.Kind
+	SketchNNZ int
 }
 
 func (o *Options) defaults() {
@@ -69,11 +73,17 @@ func (r *Result) Approx() *mat.Dense {
 	return mat.MulBT(us, r.V)
 }
 
-// TrueError computes ‖A − U·S·Vᵀ‖_F exactly.
+// TrueError computes ‖A − U·S·Vᵀ‖_F exactly by streaming the CSR rows of
+// A against the compact factors L = U·diag(S) and R = Vᵀ — A is never
+// densified.
 func TrueError(a *sparse.CSR, r *Result) float64 {
-	diff := a.ToDense()
-	diff.Sub(r.Approx())
-	return diff.FrobNorm()
+	us := r.U.Clone()
+	for j := 0; j < len(r.S); j++ {
+		for i := 0; i < us.Rows; i++ {
+			us.Set(i, j, us.At(i, j)*r.S[j])
+		}
+	}
+	return a.ResidualFrobNorm(us, r.V.T())
 }
 
 // Factor runs the restart loop on a.
@@ -87,7 +97,7 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 	if maxRank <= 0 || maxRank > min(m, n) {
 		maxRank = min(m, n)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	sk := sketch.New(opts.Sketch, n, opts.Seed, opts.SketchNNZ)
 	normA := a.FrobNorm()
 	res := &Result{NormA: normA}
 	start := time.Now()
@@ -99,7 +109,7 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 		}
 		res.Restarts++
 		res.RankHistory = append(res.RankHistory, k)
-		u, s, v, captured := onePass(a, k, opts.Oversampling, opts.Power, rng)
+		u, s, v, captured := onePass(a, k, opts.Oversampling, opts.Power, sk)
 		// Frobenius indicator: ‖A − QB‖²_F = ‖A‖²_F − ‖B‖²_F.
 		rem := normA*normA - captured
 		if rem < 0 {
@@ -126,17 +136,14 @@ func Factor(a *sparse.CSR, opts Options) (*Result, error) {
 
 // onePass computes one randomized SVD attempt at rank k and returns the
 // factors plus the captured spectral mass Σ‖B‖²_F.
-func onePass(a *sparse.CSR, k, oversampling, power int, rng *rand.Rand) (u *mat.Dense, s []float64, v *mat.Dense, captured float64) {
+func onePass(a *sparse.CSR, k, oversampling, power int, sk sketch.Sketcher) (u *mat.Dense, s []float64, v *mat.Dense, captured float64) {
 	m, n := a.Dims()
 	w := k + oversampling
 	if w > min(m, n) {
 		w = min(m, n)
 	}
-	om := mat.NewDense(n, w)
-	for i := range om.Data {
-		om.Data[i] = rng.NormFloat64()
-	}
-	y := a.MulDense(om)
+	blk := sk.Next(w)
+	y := blk.MulCSR(a)
 	q := mat.Orth(y)
 	for r := 0; r < power; r++ {
 		z := a.MulTDense(q)

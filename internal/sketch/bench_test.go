@@ -1,0 +1,47 @@
+package sketch
+
+import (
+	"testing"
+
+	"sparselr/internal/mat"
+)
+
+// The benchmark workload mirrors the Table 2 regime: a tall sparse matrix
+// with a dozen nonzeros per row and a block width typical of the solvers'
+// oversampled sketches.
+const (
+	benchRows = 8000
+	benchCols = 6000
+	benchNNZ  = 12
+	benchK    = 64
+)
+
+func benchApply(b *testing.B, kind Kind) {
+	a := testCSR(benchRows, benchCols, benchNNZ, 7)
+	sk := New(kind, benchCols, 1, 0)
+	blk := sk.Next(benchK)
+	dst := mat.NewDense(benchRows, benchK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.MulCSRInto(dst, a)
+	}
+}
+
+func BenchmarkSketchApplyGaussian(b *testing.B)   { benchApply(b, Gaussian) }
+func BenchmarkSketchApplySparseSign(b *testing.B) { benchApply(b, SparseSign) }
+func BenchmarkSketchApplySRTT(b *testing.B)       { benchApply(b, SRTT) }
+
+func benchNext(b *testing.B, kind Kind) {
+	sk := New(kind, benchCols, 1, 0)
+	sk.Next(benchK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Next(benchK)
+	}
+}
+
+func BenchmarkSketchNextGaussian(b *testing.B)   { benchNext(b, Gaussian) }
+func BenchmarkSketchNextSparseSign(b *testing.B) { benchNext(b, SparseSign) }
+func BenchmarkSketchNextSRTT(b *testing.B)       { benchNext(b, SRTT) }

@@ -201,14 +201,31 @@ func (a *CSR) MulDense(b *mat.Dense) *mat.Dense {
 		panic("sparse: MulDense dimension mismatch")
 	}
 	out := mat.NewDense(a.Rows, b.Cols)
+	a.mulDenseBody(out, b)
+	return out
+}
+
+// MulDenseInto computes dst = A·B, overwriting dst. It is the
+// allocation-free form of MulDense for workspace callers; the value
+// written is bitwise identical to MulDense's.
+func (a *CSR) MulDenseInto(dst *mat.Dense, b *mat.Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("sparse: MulDenseInto dimension mismatch")
+	}
+	dst.Zero()
+	a.mulDenseBody(dst, b)
+}
+
+// mulDenseBody accumulates A·B into the (already zeroed) out with the
+// shared serial/parallel branching.
+func (a *CSR) mulDenseBody(out, b *mat.Dense) {
 	if a.NNZ()*b.Cols < spmmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
 		a.mulDenseRows(out, b, 0, a.Rows)
-		return out
+		return
 	}
 	mat.ParallelFor(a.Rows, spmmRowGrain, func(lo, hi int) {
 		a.mulDenseRows(out, b, lo, hi)
 	})
-	return out
 }
 
 // mulDenseRows accumulates rows [lo, hi) of out = A·B.
@@ -238,22 +255,41 @@ func (a *CSR) MulTDense(b *mat.Dense) *mat.Dense {
 		panic("sparse: MulTDense dimension mismatch")
 	}
 	out := mat.NewDense(a.Cols, b.Cols)
+	a.mulTDenseBody(out, b)
+	return out
+}
+
+// MulTDenseInto computes dst = Aᵀ·B, overwriting dst. It is the
+// allocation-free form of MulTDense for workspace callers (the parallel
+// path still draws its per-chunk accumulators from the shared pool); the
+// value written is bitwise identical to MulTDense's.
+func (a *CSR) MulTDenseInto(dst *mat.Dense, b *mat.Dense) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("sparse: MulTDenseInto dimension mismatch")
+	}
+	dst.Zero()
+	a.mulTDenseBody(dst, b)
+}
+
+// mulTDenseBody accumulates Aᵀ·B into the (already zeroed) out with the
+// shared serial/parallel branching.
+func (a *CSR) mulTDenseBody(out, b *mat.Dense) {
 	if a.NNZ()*b.Cols < spmmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
 		a.mulTDenseRows(out, b, 0, a.Rows)
-		return out
+		return
 	}
 	grain := mat.ChunkGrain(a.Rows)
 	nchunks := (a.Rows + grain - 1) / grain
 	partials := make([]*mat.Dense, nchunks)
 	mat.ParallelFor(a.Rows, grain, func(lo, hi int) {
-		p := mat.NewDense(a.Cols, b.Cols)
+		p := mat.GetDense(a.Cols, b.Cols)
 		a.mulTDenseRows(p, b, lo, hi)
 		partials[lo/grain] = p
 	})
 	for _, p := range partials {
 		out.Add(p)
+		mat.PutDense(p)
 	}
-	return out
 }
 
 // mulTDenseRows accumulates the contribution of A's rows [lo, hi) to
@@ -287,6 +323,69 @@ func (a *CSR) MulVec(x []float64) []float64 {
 		out[i] = s
 	}
 	return out
+}
+
+// ResidualFrobNorm returns ‖A − L·R‖_F for dense factors L (m×k) and
+// R (k×n) without densifying A: each CSR row is streamed against the
+// corresponding row of the factor product, so peak memory is O(n) per
+// worker instead of the O(m·n) an explicit residual would need. Large
+// residuals run row-parallel with per-chunk partial sums reduced in chunk
+// order (deterministic for a fixed GOMAXPROCS).
+func (a *CSR) ResidualFrobNorm(l, r *mat.Dense) float64 {
+	if l.Rows != a.Rows || r.Cols != a.Cols || l.Cols != r.Rows {
+		panic("sparse: ResidualFrobNorm dimension mismatch")
+	}
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	rowSums := func(lo, hi int, row []float64) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			for j := range row {
+				row[j] = 0
+			}
+			// row = (L·R)_i, accumulated in ascending k order.
+			lrow := l.Row(i)
+			for k, lv := range lrow {
+				if lv == 0 {
+					continue
+				}
+				rrow := r.Row(k)
+				for j, rv := range rrow {
+					row[j] += lv * rv
+				}
+			}
+			// Subtract the sparse row: row = (L·R − A)_i.
+			cols, vals := a.RowView(i)
+			for k, j := range cols {
+				row[j] -= vals[k]
+			}
+			for _, v := range row {
+				s += v * v
+			}
+		}
+		return s
+	}
+	work := a.Rows * a.Cols * l.Cols
+	if work < spmmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+		buf := mat.GetScratch(a.Cols)
+		s := rowSums(0, a.Rows, *buf)
+		mat.PutScratch(buf)
+		return math.Sqrt(s)
+	}
+	grain := mat.ChunkGrain(a.Rows)
+	nchunks := (a.Rows + grain - 1) / grain
+	partials := make([]float64, nchunks)
+	mat.ParallelFor(a.Rows, grain, func(lo, hi int) {
+		buf := mat.GetScratch(a.Cols)
+		partials[lo/grain] = rowSums(lo, hi, *buf)
+		mat.PutScratch(buf)
+	})
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return math.Sqrt(total)
 }
 
 // SpGEMM returns the sparse product A·B using Gustavson's row-merge

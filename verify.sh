@@ -3,17 +3,24 @@
 #   1. go vet ./...
 #   2. go build ./...
 #   3. go test ./...           (tier-1)
-#   4. go test -race over the packages with parallel kernels and the
-#      fault-injection paths, under a watchdog -timeout so a deadlock
-#      regression fails the gate instead of hanging it
-#   5. doc-link check: relative links in *.md must resolve
-#   6. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
-#   7. dist collective micro-benchmarks (traced vs untraced) -> BENCH_dist.json
+#   4. go test -race over the packages with parallel kernels, the
+#      fault-injection paths and the sketch layer, under a watchdog
+#      -timeout so a deadlock regression fails the gate instead of
+#      hanging it
+#   5. seed-drift gate: the default-Gaussian solver outputs must hash to
+#      the golden values captured from the pre-sketch-layer code
+#      (seeddrift_test.go) so published seed results stand
+#   6. doc-link check: relative links in *.md must resolve
+#   7. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
+#   8. dist collective micro-benchmarks (traced vs untraced) -> BENCH_dist.json
+#   9. sketch micro-benchmarks -> BENCH_sketch.json (ns/op + allocs/op),
+#      asserting SparseSign apply >= 3x faster than Gaussian and
+#      0 allocs/op on the Gaussian/SparseSign apply paths
 #
 # Environment knobs:
-#   SKIP_BENCH=1    skip steps 6-7
-#   BENCHTIME=...   per-benchmark budget for steps 6-7 (default 200ms)
-#   TESTTIMEOUT=... watchdog for steps 3-4 (default 10m)
+#   SKIP_BENCH=1    skip steps 7-9
+#   BENCHTIME=...   per-benchmark budget for steps 7-9 (default 200ms)
+#   TESTTIMEOUT=... watchdog for steps 3-5 (default 10m)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -28,8 +35,11 @@ go test -timeout "${TESTTIMEOUT:-10m}" ./...
 
 echo "== go test -race (kernel + fault-injection packages, watchdog timeout)"
 go test -race -timeout "${TESTTIMEOUT:-10m}" \
-    ./internal/mat ./internal/sparse \
+    ./internal/mat ./internal/sparse ./internal/sketch \
     ./internal/dist/... ./internal/randqb/... ./internal/randubv/... ./internal/lucrtp/...
+
+echo "== seed-drift gate (default-Gaussian bit-identity vs golden hashes)"
+go test -timeout "${TESTTIMEOUT:-10m}" -run '^TestSeedDrift' -count=1 -v . | grep -E '^(--- |ok|FAIL)'
 
 echo "== doc-link check (*.md relative links)"
 bad=0
@@ -88,6 +98,39 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
         END { print "\n}" }
     ' > BENCH_dist.json
     echo "wrote BENCH_dist.json"
+
+    echo "== sketch micro-benchmarks (apply + draw, with allocs/op)"
+    out=$(go test -run '^$' -bench '^BenchmarkSketch' -benchmem -benchtime "${BENCHTIME:-200ms}" ./internal/sketch | grep -E '^Benchmark')
+    echo "$out"
+    echo "$out" | awk '
+        BEGIN { print "{"; first = 1 }
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            sub(/^Benchmark/, "", name)
+            if (!first) printf ",\n"
+            first = 0
+            printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, $5, $7
+            ns[name] = $3; allocs[name] = $7
+        }
+        END {
+            print "\n}"
+            # Structured-sketch perf gate: SparseSign apply must beat the
+            # Gaussian apply by >= 3x, and the Gaussian/SparseSign apply
+            # paths must be allocation-free in steady state.
+            g = ns["SketchApplyGaussian"]; s = ns["SketchApplySparseSign"]
+            if (g == "" || s == "") { print "missing sketch apply benchmarks" > "/dev/stderr"; exit 1 }
+            if (s * 3 > g) {
+                printf "SparseSign apply not >=3x faster than Gaussian: %s vs %s ns/op\n", s, g > "/dev/stderr"
+                exit 1
+            }
+            if (allocs["SketchApplyGaussian"] + 0 != 0 || allocs["SketchApplySparseSign"] + 0 != 0) {
+                printf "sketch apply allocates: gaussian=%s sparsesign=%s allocs/op\n", allocs["SketchApplyGaussian"], allocs["SketchApplySparseSign"] > "/dev/stderr"
+                exit 1
+            }
+        }
+    ' > BENCH_sketch.json
+    echo "wrote BENCH_sketch.json"
 fi
 
 echo "verify.sh: OK"
