@@ -27,7 +27,6 @@ import (
 	"sparselr/internal/core"
 	"sparselr/internal/dist"
 	"sparselr/internal/gen"
-	"sparselr/internal/lucrtp"
 	"sparselr/internal/sketch"
 	"sparselr/internal/sparse"
 )
@@ -52,6 +51,15 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	m, sketchKind, err := validateFlags(flagValues{
+		matrix: *matrix, scale: *scale, method: *method, k: *k, tol: *tol,
+		power: *power, np: *np, maxRank: *maxRank, sketch: *sketchK, sketchNNZ: *sketchN,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowrank:", err)
+		fmt.Fprintln(os.Stderr, "run 'lowrank -h' for usage")
+		os.Exit(2)
+	}
 	defer writeMemProfile(*memProf)
 	if stop := startCPUProfile(*cpuProf); stop != nil {
 		defer stop()
@@ -60,16 +68,6 @@ func main() {
 	a, name, err := loadMatrix(*matrix, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lowrank:", err)
-		os.Exit(1)
-	}
-	m, err2 := core.ParseMethod(*method)
-	if err2 != nil {
-		fmt.Fprintln(os.Stderr, "lowrank:", err2)
-		os.Exit(1)
-	}
-	sketchKind, err3 := sketch.ParseKind(*sketchK)
-	if err3 != nil {
-		fmt.Fprintln(os.Stderr, "lowrank:", err3)
 		os.Exit(1)
 	}
 	r, c := a.Dims()
@@ -125,6 +123,66 @@ func main() {
 	}
 }
 
+// flagValues carries the parsed flags into validateFlags.
+type flagValues struct {
+	matrix, scale, method, sketch string
+	k, power, np, maxRank         int
+	sketchNNZ                     int
+	tol                           float64
+}
+
+// validateFlags rejects inconsistent flag combinations up front — a
+// bad tolerance, an unknown sketch, -sketchnnz without the sparsesign
+// sketch, a distributed run of a sequential-only method — so the run
+// fails with a usage message instead of a late panic or a silent
+// fallback. It returns the resolved method and sketch kind.
+func validateFlags(f flagValues) (core.Method, sketch.Kind, error) {
+	m, err := core.ParseMethod(f.method)
+	if err != nil {
+		return 0, 0, err
+	}
+	kind, err := sketch.ParseKind(f.sketch)
+	if err != nil {
+		return 0, 0, err
+	}
+	if gen.IsLabel(f.matrix) {
+		if _, err := gen.ParseScale(f.scale); err != nil {
+			return 0, 0, err
+		}
+	}
+	if f.k <= 0 {
+		return 0, 0, fmt.Errorf("block size -k must be positive, got %d", f.k)
+	}
+	if f.tol < 0 {
+		return 0, 0, fmt.Errorf("tolerance -tol must be nonnegative, got %g", f.tol)
+	}
+	if f.tol == 0 && f.maxRank <= 0 {
+		return 0, 0, fmt.Errorf("need -tol > 0 or -maxrank > 0 (a zero tolerance with no rank cap never terminates)")
+	}
+	if f.maxRank < 0 {
+		return 0, 0, fmt.Errorf("-maxrank must be nonnegative, got %d", f.maxRank)
+	}
+	if f.power < 0 || f.power > 3 {
+		return 0, 0, fmt.Errorf("-power must be in [0,3], got %d", f.power)
+	}
+	if f.np < 0 {
+		return 0, 0, fmt.Errorf("-np must be nonnegative, got %d", f.np)
+	}
+	if f.np > 1 {
+		switch m {
+		case core.TSVD, core.RSVDRestart, core.ARRF:
+			return 0, 0, fmt.Errorf("%v has no distributed implementation; use -np 1", m)
+		}
+	}
+	if f.sketchNNZ < 0 {
+		return 0, 0, fmt.Errorf("-sketchnnz must be nonnegative, got %d", f.sketchNNZ)
+	}
+	if f.sketchNNZ > 0 && kind != sketch.SparseSign {
+		return 0, 0, fmt.Errorf("-sketchnnz only applies to -sketch sparsesign, got -sketch %v", kind)
+	}
+	return m, kind, nil
+}
+
 // startCPUProfile begins CPU profiling into path (empty = off) and
 // returns the stop function, or nil.
 func startCPUProfile(path string) func() {
@@ -177,18 +235,19 @@ func exitOnRunError(err error) {
 // distributed-runtime failure (rank crash, deadlock, poisoned
 // collective), 1 otherwise.
 func classifyRunError(err error) (string, int) {
-	var re *dist.RankError
-	var de *dist.DeadlockError
-	switch {
-	case errors.Is(err, lucrtp.ErrBreakdown):
-		return fmt.Sprintf("lowrank: numerical breakdown: %v\nlowrank: try a smaller -k, a looser -tol, or the StableL formulation", err), 2
-	case errors.As(err, &re):
+	class := core.ClassifyFailure(err)
+	switch class {
+	case core.FailureBreakdown:
+		return fmt.Sprintf("lowrank: numerical breakdown: %v\nlowrank: try a smaller -k, a looser -tol, or the StableL formulation", err), class.ExitCode()
+	case core.FailureRankCrash:
+		var re *dist.RankError
+		errors.As(err, &re)
 		return fmt.Sprintf("lowrank: distributed run failed on rank %d at t=%.6gs (%s): %v",
-			re.Rank, re.VirtualTime, re.Phase, re.Err), 3
-	case errors.As(err, &de):
-		return fmt.Sprintf("lowrank: distributed run deadlocked:\n%v", err), 3
+			re.Rank, re.VirtualTime, re.Phase, re.Err), class.ExitCode()
+	case core.FailureDeadlock:
+		return fmt.Sprintf("lowrank: distributed run deadlocked:\n%v", err), class.ExitCode()
 	default:
-		return fmt.Sprintf("lowrank: %v", err), 1
+		return fmt.Sprintf("lowrank: %v", err), class.ExitCode()
 	}
 }
 
@@ -261,14 +320,4 @@ func loadMatrix(spec, scale string) (*sparse.CSR, string, error) {
 	return a, spec, nil
 }
 
-func parseScale(s string) (gen.Scale, error) {
-	switch s {
-	case "small":
-		return gen.Small, nil
-	case "medium":
-		return gen.Medium, nil
-	case "large":
-		return gen.Large, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", s)
-}
+func parseScale(s string) (gen.Scale, error) { return gen.ParseScale(s) }

@@ -67,6 +67,52 @@ func TestLoadMatrixFromFile(t *testing.T) {
 	}
 }
 
+func TestValidateFlags(t *testing.T) {
+	ok := flagValues{matrix: "M1", scale: "small", method: "LU_CRTP", k: 16,
+		tol: 1e-2, power: 1, np: 1, sketch: "gaussian"}
+	if _, _, err := validateFlags(ok); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	// -sketchnnz with the sparsesign sketch is the one place it is legal.
+	sp := ok
+	sp.sketch = "sparsesign"
+	sp.sketchNNZ = 4
+	if _, _, err := validateFlags(sp); err != nil {
+		t.Fatalf("sparsesign+sketchnnz rejected: %v", err)
+	}
+	mutate := func(f func(*flagValues)) flagValues { v := ok; f(&v); return v }
+	bad := map[string]flagValues{
+		"unknown method":        mutate(func(v *flagValues) { v.method = "nope" }),
+		"unknown sketch":        mutate(func(v *flagValues) { v.sketch = "nope" }),
+		"unknown scale":         mutate(func(v *flagValues) { v.scale = "huge" }),
+		"zero block":            mutate(func(v *flagValues) { v.k = 0 }),
+		"negative block":        mutate(func(v *flagValues) { v.k = -4 }),
+		"negative tol":          mutate(func(v *flagValues) { v.tol = -1e-3 }),
+		"zero tol no maxrank":   mutate(func(v *flagValues) { v.tol = 0 }),
+		"negative maxrank":      mutate(func(v *flagValues) { v.maxRank = -1 }),
+		"power out of range":    mutate(func(v *flagValues) { v.power = 4 }),
+		"negative np":           mutate(func(v *flagValues) { v.np = -2 }),
+		"tsvd distributed":      mutate(func(v *flagValues) { v.method = "tsvd"; v.np = 4 }),
+		"sketchnnz w/ gaussian": mutate(func(v *flagValues) { v.sketchNNZ = 4 }),
+		"negative sketchnnz":    mutate(func(v *flagValues) { v.sketch = "sparsesign"; v.sketchNNZ = -1 }),
+	}
+	for name, v := range bad {
+		if _, _, err := validateFlags(v); err == nil {
+			t.Errorf("%s: accepted %+v", name, v)
+		}
+	}
+	// Zero tol with a rank cap is the legal fixed-rank mode.
+	fr := mutate(func(v *flagValues) { v.tol = 0; v.maxRank = 8 })
+	if _, _, err := validateFlags(fr); err != nil {
+		t.Fatalf("fixed-rank flags rejected: %v", err)
+	}
+	// A non-generator matrix path skips scale validation.
+	file := mutate(func(v *flagValues) { v.matrix = "data/x.mtx"; v.scale = "bogus" })
+	if _, _, err := validateFlags(file); err != nil {
+		t.Fatalf("file path with unused scale rejected: %v", err)
+	}
+}
+
 func TestClassifyRunError(t *testing.T) {
 	cases := []struct {
 		err  error

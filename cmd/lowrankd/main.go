@@ -1,0 +1,111 @@
+// Command lowrankd serves fixed-precision low-rank approximations over
+// HTTP: a bounded job scheduler with worker slots and 429 backpressure,
+// a content-addressed result cache with singleflight deduplication, and
+// a Prometheus /metrics endpoint, all on the Go standard library.
+//
+// Submit a named Table I workload and block for the result:
+//
+//	lowrankd -addr 127.0.0.1:8371 &
+//	curl -s 'http://127.0.0.1:8371/v1/jobs?wait=30s' \
+//	     -H 'Content-Type: application/json' \
+//	     -d '{"matrix":"M3","method":"RandQB_EI","tol":1e-2,"block":16}'
+//
+// or upload a MatrixMarket file with the knobs in the query string:
+//
+//	curl -s 'http://127.0.0.1:8371/v1/jobs?method=LU_CRTP&tol=1e-2&wait=30s' \
+//	     --data-binary @my.mtx
+//
+// Resubmitting an identical request is answered from the cache without
+// recomputing. SIGTERM/SIGINT drains gracefully: new submissions get
+// 503 while queued and in-flight jobs run to completion (bounded by
+// -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sparselr/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8371", "listen address (port 0 picks a free port)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "worker slots solving jobs concurrently")
+		queueDepth   = flag.Int("queue", 64, "bounded submission-queue capacity (full queue returns 429)")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result-cache byte budget (0 disables caching)")
+		deadline     = flag.Duration("deadline", 0, "default per-job deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGTERM")
+		maxBody      = flag.Int64("max-body-bytes", 64<<20, "largest accepted upload body")
+	)
+	flag.Parse()
+	if *workers <= 0 || *queueDepth <= 0 || *maxBody <= 0 {
+		fmt.Fprintln(os.Stderr, "lowrankd: -workers, -queue and -max-body-bytes must be positive")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	budget := *cacheBytes
+	if budget <= 0 {
+		budget = -1 // serve.Config: negative disables the cache
+	}
+	srv := serve.NewServer(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheBytes:   budget,
+		Deadline:     *deadline,
+		MaxBodyBytes: *maxBody,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowrankd:", err)
+		os.Exit(1)
+	}
+	// The smoke test and scripts parse this line to find the bound port.
+	fmt.Printf("lowrankd: listening on %s (workers=%d queue=%d cache=%dB)\n",
+		ln.Addr(), *workers, *queueDepth, max64(budget, 0))
+
+	hs := &http.Server{Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Printf("lowrankd: %v: draining (timeout %v)\n", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "lowrankd:", err)
+			hs.Close()
+			os.Exit(1)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "lowrankd: shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Println("lowrankd: drained cleanly")
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "lowrankd:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

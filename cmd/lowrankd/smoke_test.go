@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonSmoke is the verify.sh daemon smoke test: it builds the
+// real lowrankd binary, boots it on an ephemeral port, submits the
+// same workload twice (cold solve, then cache hit), measures cold vs
+// cached latency and cached requests/sec, SIGTERMs the daemon and
+// asserts a clean drain. When BENCH_SERVE_OUT is set the measurements
+// are written there as JSON.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "lowrankd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "lowrankd: listening on 127.0.0.1:PORT (...)".
+	sc := bufio.NewScanner(stdout)
+	var lines []string
+	addrRe := regexp.MustCompile(`listening on (\S+) `)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		lines = append(lines, line)
+		if m := addrRe.FindStringSubmatch(line); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listening line in daemon output: %q", lines)
+	}
+	// Keep draining stdout so the daemon never blocks on a full pipe.
+	rest := make(chan []string, 1)
+	go func() {
+		var tail []string
+		for sc.Scan() {
+			tail = append(tail, sc.Text())
+		}
+		rest <- tail
+	}()
+
+	body := `{"matrix":"M3","method":"RandQB_EI","tol":1e-2,"seed":11}`
+	submit := func() (time.Duration, map[string]interface{}) {
+		start := time.Now()
+		resp, err := http.Post(base+"/v1/jobs?wait=60s", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+		}
+		var v map[string]interface{}
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("bad response %q: %v", raw, err)
+		}
+		return time.Since(start), v
+	}
+
+	coldLat, cold := submit()
+	if cold["status"] != "done" || cold["outcome"] != "enqueued" {
+		t.Fatalf("cold submit: status=%v outcome=%v", cold["status"], cold["outcome"])
+	}
+	cachedLat, warm := submit()
+	if warm["outcome"] != "cache_hit" || warm["cached"] != true {
+		t.Fatalf("second submit not a cache hit: outcome=%v cached=%v", warm["outcome"], warm["cached"])
+	}
+
+	// Cached throughput: hammer the cache for a fixed window.
+	const window = 300 * time.Millisecond
+	var reqs int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(window)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := int64(0)
+			for time.Now().Before(deadline) {
+				resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("cached request: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				n++
+			}
+			mu.Lock()
+			reqs += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	rps := float64(reqs) / window.Seconds()
+	t.Logf("cold=%v cached=%v cached_rps=%.0f", coldLat, cachedLat, rps)
+
+	if out := os.Getenv("BENCH_SERVE_OUT"); out != "" {
+		j := fmt.Sprintf(`{
+  "cold_ms": %.3f,
+  "cached_ms": %.3f,
+  "cached_requests_per_sec": %.1f
+}
+`, float64(coldLat.Microseconds())/1000, float64(cachedLat.Microseconds())/1000, rps)
+		if err := os.WriteFile(out, []byte(j), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", out, err)
+		}
+	}
+
+	// SIGTERM → graceful drain; the process must exit 0 and say so.
+	// Read stdout to EOF *before* cmd.Wait: Wait closes the pipe and
+	// would race the scanner out of the drain messages.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var tail []string
+	select {
+	case tail = <-rest:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+	joined := strings.Join(tail, "\n")
+	if !strings.Contains(joined, "drained cleanly") {
+		t.Fatalf("no clean-drain message in output: %q", joined)
+	}
+}

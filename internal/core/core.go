@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -347,6 +348,80 @@ func Approximate(a *sparse.CSR, opts Options) (*Approximation, error) {
 	}
 	ap.WallTime = time.Since(start)
 	return ap, nil
+}
+
+// FailureClass partitions the errors a run can produce into the
+// categories the CLI and the serving daemon report distinctly:
+// numerical breakdown (retryable with different parameters), a
+// distributed-runtime rank crash, a distributed-runtime deadlock, and
+// everything else.
+type FailureClass int
+
+const (
+	// FailureNone marks a nil error.
+	FailureNone FailureClass = iota
+	// FailureBreakdown is a numerical breakdown (lucrtp.ErrBreakdown),
+	// even when it surfaces wrapped inside a *dist.RankError.
+	FailureBreakdown
+	// FailureRankCrash is a structured distributed-runtime failure: a
+	// rank crashed, panicked or returned an error (*dist.RankError).
+	FailureRankCrash
+	// FailureDeadlock is a detected distributed-runtime deadlock
+	// (*dist.DeadlockError).
+	FailureDeadlock
+	// FailureOther covers every remaining error (bad input, I/O, ...).
+	FailureOther
+)
+
+// String names the class for logs and JSON payloads.
+func (c FailureClass) String() string {
+	switch c {
+	case FailureNone:
+		return "none"
+	case FailureBreakdown:
+		return "breakdown"
+	case FailureRankCrash:
+		return "rank_crash"
+	case FailureDeadlock:
+		return "deadlock"
+	case FailureOther:
+		return "error"
+	}
+	return fmt.Sprintf("FailureClass(%d)", int(c))
+}
+
+// ExitCode is the cmd/lowrank process exit status for the class: 2 for
+// a breakdown, 3 for the structured distributed failures, 1 otherwise
+// (0 for FailureNone).
+func (c FailureClass) ExitCode() int {
+	switch c {
+	case FailureNone:
+		return 0
+	case FailureBreakdown:
+		return 2
+	case FailureRankCrash, FailureDeadlock:
+		return 3
+	}
+	return 1
+}
+
+// ClassifyFailure maps a run error onto its FailureClass. The breakdown
+// check runs first so a breakdown that crashed a rank still reports as
+// a breakdown (it is the actionable root cause).
+func ClassifyFailure(err error) FailureClass {
+	var re *dist.RankError
+	var de *dist.DeadlockError
+	switch {
+	case err == nil:
+		return FailureNone
+	case errors.Is(err, lucrtp.ErrBreakdown):
+		return FailureBreakdown
+	case errors.As(err, &re):
+		return FailureRankCrash
+	case errors.As(err, &de):
+		return FailureDeadlock
+	}
+	return FailureOther
 }
 
 // approximateDist runs the method's distributed implementation on

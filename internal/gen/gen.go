@@ -251,6 +251,46 @@ const (
 	Large
 )
 
+// ParseScale resolves the CLI/HTTP spelling of a Scale ("" defaults to
+// small, matching the cmd flag default).
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small", "":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	}
+	return 0, fmt.Errorf("gen: unknown scale %q (want small, medium or large)", s)
+}
+
+// String names the scale as ParseScale spells it.
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// Labels lists the Table I workload labels ByLabel accepts.
+func Labels() []string { return []string{"M1", "M2", "M3", "M4", "M5", "M6"} }
+
+// IsLabel reports whether spec names a Table I analog (M1..M6).
+func IsLabel(spec string) bool {
+	for _, l := range Labels() {
+		if spec == l {
+			return true
+		}
+	}
+	return false
+}
+
 // TableI generates the six test-matrix analogs of Table I at the given
 // scale. The structure class of each original matrix is preserved:
 // M1 structural stencil, M2 high-fill fluid stencil, M3/M4/M6 circuit,

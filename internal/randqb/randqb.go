@@ -165,8 +165,8 @@ func newQBState(a *sparse.CSR, opts Options) (*qbState, error) {
 	res.TimeHistory = make([]time.Duration, 0, iterCap)
 	st := &qbState{
 		a: a, opts: opts,
-		sk:      sketch.New(opts.Sketch, n, opts.Seed, opts.SketchNNZ),
-		m:       m, n: n, maxRank: maxRank,
+		sk: sketch.New(opts.Sketch, n, opts.Seed, opts.SketchNNZ),
+		m:  m, n: n, maxRank: maxRank,
 		e:   normA * normA,
 		res: res, start: time.Now(),
 	}

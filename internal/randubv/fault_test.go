@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sparselr/internal/dist"
+	"sparselr/internal/sketch"
 )
 
 func distCfg() dist.Config { return dist.Config{Alpha: 1e-6, Beta: 1e-9, Gamma: 1e-9} }
@@ -101,4 +102,88 @@ func TestFactorDistCheckpointRestartBitIdentical(t *testing.T) {
 	same("B", got.B.Data, want.B.Data)
 	same("V", got.V.Data, want.V.Data)
 	same("ErrHistory", got.ErrHistory, want.ErrHistory)
+}
+
+// TestFactorDistCheckpointRestartSketchers repeats the bit-identical
+// restart check for the non-Gaussian sketching operators: resume
+// correctness depends on each sketcher's Draws/FastForward bookkeeping,
+// which the Gaussian-only test above cannot exercise.
+func TestFactorDistCheckpointRestartSketchers(t *testing.T) {
+	cases := []struct {
+		name string
+		kind sketch.Kind
+		nnz  int
+	}{
+		{"SparseSign", sketch.SparseSign, 3},
+		{"SRTT", sketch.SRTT, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := decayMatrix(60, 50, 30, 0.6, 101)
+			const p = 2
+			mkOpts := func() Options {
+				o := faultOpts()
+				o.Sketch = tc.kind
+				o.SketchNNZ = tc.nnz
+				return o
+			}
+			run := func(opts Options, cfg dist.Config) (*Result, error) {
+				var out *Result
+				_, err := dist.RunE(p, cfg, func(c *dist.Comm) error {
+					r, err := FactorDist(c, a, opts)
+					if err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						out = r
+					}
+					return nil
+				})
+				return out, err
+			}
+			want, err := run(mkOpts(), distCfg())
+			if err != nil {
+				t.Fatalf("uninterrupted run failed: %v", err)
+			}
+			if want.Iters < 3 {
+				t.Fatalf("test needs a multi-iteration run, got %d iterations", want.Iters)
+			}
+
+			store := dist.NewCheckpointStore()
+			opts := mkOpts()
+			opts.CheckpointEvery = 1
+			opts.Checkpoint = store
+			base, _ := dist.RunE(p, distCfg(), func(c *dist.Comm) error { _, err := FactorDist(c, a, mkOpts()); return err })
+			cfg := distCfg()
+			cfg.Fault = &dist.FaultPlan{Crashes: []dist.Crash{{Rank: 0, At: 0.6 * base.MaxTime()}}}
+			if _, err := run(opts, cfg); err == nil {
+				t.Fatal("faulted run should fail")
+			}
+			if _, _, ok := store.Latest(p); !ok {
+				t.Fatal("no complete checkpoint survived the crash")
+			}
+			got, err := run(opts, distCfg())
+			if err != nil {
+				t.Fatalf("restarted run failed: %v", err)
+			}
+
+			if got.Rank != want.Rank || got.Iters != want.Iters || got.Converged != want.Converged {
+				t.Fatalf("restart diverged: rank %d/%d iters %d/%d", got.Rank, want.Rank, got.Iters, want.Iters)
+			}
+			same := func(name string, x, y []float64) {
+				if len(x) != len(y) {
+					t.Fatalf("%s length differs after restart", name)
+				}
+				for i := range x {
+					if x[i] != y[i] {
+						t.Fatalf("%s element %d differs after restart: %v != %v", name, i, x[i], y[i])
+					}
+				}
+			}
+			same("U", got.U.Data, want.U.Data)
+			same("B", got.B.Data, want.B.Data)
+			same("V", got.V.Data, want.V.Data)
+			same("ErrHistory", got.ErrHistory, want.ErrHistory)
+		})
+	}
 }

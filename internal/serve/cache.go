@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"sparselr/internal/core"
+)
+
+// Cache is the content-addressed result cache: completed
+// approximations keyed by Spec.Key, evicted least-recently-used once
+// the estimated resident bytes exceed the budget.
+type Cache struct {
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key   string
+	ap    *core.Approximation
+	bytes int64
+}
+
+// NewCache builds a cache with the given byte budget. budget <= 0
+// disables caching (every Get misses, Put is a no-op).
+func NewCache(budget int64) *Cache {
+	return &Cache{budget: budget, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached approximation for key, refreshing its
+// recency; ok is false on a miss.
+func (c *Cache) Get(key string) (*core.Approximation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).ap, true
+}
+
+// Put inserts (or refreshes) a completed approximation, then evicts
+// from the LRU tail until the budget holds. An entry larger than the
+// whole budget is not admitted.
+func (c *Cache) Put(key string, ap *core.Approximation) {
+	if c.budget <= 0 || ap == nil {
+		return
+	}
+	size := approxBytes(ap)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.used += size - el.Value.(*cacheEntry).bytes
+		el.Value.(*cacheEntry).ap = ap
+		el.Value.(*cacheEntry).bytes = size
+		c.ll.MoveToFront(el)
+	} else {
+		if size > c.budget {
+			return
+		}
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, ap: ap, bytes: size})
+		c.used += size
+	}
+	for c.used > c.budget {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.items, e.key)
+		c.used -= e.bytes
+		c.evictions++
+	}
+}
+
+// Stats returns (entries, resident bytes, budget, evictions so far).
+func (c *Cache) Stats() (entries int, used, budget int64, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.used, c.budget, c.evictions
+}
+
+// approxBytes estimates the resident size of an approximation's
+// factors (the dominant term; bookkeeping fields are ignored).
+func approxBytes(ap *core.Approximation) int64 {
+	const f64 = 8
+	var n int64
+	dense := func(rows, cols int) { n += int64(rows) * int64(cols) * f64 }
+	switch {
+	case ap.LU != nil:
+		// CSR: 8-byte value + 4-byte column index per nonzero, plus row
+		// pointers.
+		n += int64(ap.LU.L.NNZ()+ap.LU.U.NNZ()) * 12
+		n += int64(ap.LU.L.Rows+ap.LU.U.Rows) * 4
+	case ap.QB != nil:
+		dense(ap.QB.Q.Rows, ap.QB.Q.Cols)
+		dense(ap.QB.B.Rows, ap.QB.B.Cols)
+	case ap.UBV != nil:
+		dense(ap.UBV.U.Rows, ap.UBV.U.Cols)
+		dense(ap.UBV.B.Rows, ap.UBV.B.Cols)
+		dense(ap.UBV.V.Rows, ap.UBV.V.Cols)
+	case ap.SVD != nil:
+		dense(ap.SVD.U.Rows, ap.SVD.U.Cols)
+		dense(ap.SVD.V.Rows, ap.SVD.V.Cols)
+		n += int64(len(ap.SVD.S)) * f64
+	case ap.RS != nil:
+		dense(ap.RS.U.Rows, ap.RS.U.Cols)
+		dense(ap.RS.V.Rows, ap.RS.V.Cols)
+		n += int64(len(ap.RS.S)) * f64
+	case ap.ARRF != nil:
+		dense(ap.ARRF.Q.Rows, ap.ARRF.Q.Cols)
+	}
+	n += int64(len(ap.ErrHistory)) * f64
+	// Fixed overhead per entry (struct headers, map/list bookkeeping).
+	return n + 512
+}

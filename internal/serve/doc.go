@@ -1,0 +1,36 @@
+// Package serve turns the one-shot approximation library into a
+// long-running service: a bounded job scheduler with admission control
+// and graceful drain, a content-addressed result cache with
+// singleflight deduplication, and a stdlib-only HTTP API that
+// cmd/lowrankd exposes.
+//
+// The fixed-precision problem is a pure function of its request: the
+// factors are fully determined by (matrix, algorithm, tolerance, block
+// size, power, rank cap, sketch, seed, procs). serve exploits that in
+// two layers:
+//
+//   - the Cache keys completed approximations by a SHA-256 digest of
+//     the canonical request, holding them under an LRU byte budget, so
+//     an identical request never recomputes;
+//   - the Scheduler's singleflight table joins concurrent identical
+//     requests onto the one in-flight job, so N simultaneous clients
+//     cost exactly one solve.
+//
+// Admission is a bounded queue: when it is full, Submit fails with
+// ErrQueueFull and the HTTP layer answers 429 with a Retry-After hint;
+// when the scheduler is draining (SIGTERM), new work gets 503 while
+// queued and in-flight jobs run to completion.
+//
+// Failures keep the structured classes of the fault-tolerant runtime:
+// core.ClassifyFailure maps a solve error to breakdown / rank-crash /
+// deadlock and the HTTP layer gives each class a distinct status code
+// mirroring cmd/lowrank's exit codes (see DESIGN.md §4f for the
+// table).
+//
+// Long distributed jobs opt into checkpointing (procs > 1 and
+// checkpoint_every > 0): the ResumeRegistry retains each such job's
+// dist.CheckpointStore until the job succeeds, so a job that was in
+// flight when the daemon restarted (or crashed mid-run under fault
+// injection) resumes from its last complete snapshot when the request
+// is resubmitted, instead of starting over.
+package serve

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is the daemon's operational counter set, rendered in
+// Prometheus text exposition format by WriteProm. Gauges that belong
+// to live components (queue depth, cache bytes, ...) are sampled at
+// render time through the owning Scheduler/Cache, not stored here.
+type Metrics struct {
+	mu sync.Mutex
+
+	cacheHits    uint64
+	singleflight uint64
+	cacheMisses  uint64
+	rejections   uint64 // queue-full 429s
+	drainRejects uint64 // draining 503s
+
+	jobsTotal map[Status]uint64
+	solves    map[string]uint64 // by method
+	httpCodes map[int]uint64
+
+	latency map[string]*histogram // solve seconds by method
+
+	virtualSeconds map[string]float64 // modeled dist time by method
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		jobsTotal:      map[Status]uint64{},
+		solves:         map[string]uint64{},
+		httpCodes:      map[int]uint64{},
+		latency:        map[string]*histogram{},
+		virtualSeconds: map[string]float64{},
+	}
+}
+
+// solveBuckets are the per-algorithm latency histogram bounds in
+// seconds (log-spaced from 1ms to 10s).
+var solveBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+type histogram struct {
+	counts []uint64 // one per bucket, cumulative semantics applied at render
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	for i, le := range solveBuckets {
+		if v <= le {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.total++
+}
+
+// CacheHit / SingleflightHit / CacheMiss record request admission
+// outcomes: a completed-result reuse, a join onto an in-flight
+// identical job, and an admitted fresh solve respectively.
+func (m *Metrics) CacheHit()        { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *Metrics) SingleflightHit() { m.mu.Lock(); m.singleflight++; m.mu.Unlock() }
+func (m *Metrics) CacheMiss()       { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+
+// Rejected records a queue-full 429; DrainRejected a draining 503.
+func (m *Metrics) Rejected()      { m.mu.Lock(); m.rejections++; m.mu.Unlock() }
+func (m *Metrics) DrainRejected() { m.mu.Lock(); m.drainRejects++; m.mu.Unlock() }
+
+// JobFinished records a job reaching a terminal status.
+func (m *Metrics) JobFinished(s Status) {
+	m.mu.Lock()
+	m.jobsTotal[s]++
+	m.mu.Unlock()
+}
+
+// SolveDone records one completed solve (fresh compute, not a cache
+// hit) with its wall latency and, for distributed runs, modeled time.
+func (m *Metrics) SolveDone(method string, wall time.Duration, virtualTime float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solves[method]++
+	h, ok := m.latency[method]
+	if !ok {
+		h = &histogram{counts: make([]uint64, len(solveBuckets))}
+		m.latency[method] = h
+	}
+	h.observe(wall.Seconds())
+	if virtualTime > 0 {
+		m.virtualSeconds[method] += virtualTime
+	}
+}
+
+// HTTPResponse records the status code of a finished HTTP exchange.
+func (m *Metrics) HTTPResponse(code int) {
+	m.mu.Lock()
+	m.httpCodes[code]++
+	m.mu.Unlock()
+}
+
+// Snapshot returns (cache hits, singleflight hits, misses, solve
+// count) for tests and reconciliation.
+func (m *Metrics) Snapshot() (hits, joined, misses, solves uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.solves {
+		solves += n
+	}
+	return m.cacheHits, m.singleflight, m.cacheMisses, solves
+}
+
+// Gauges carries the live values sampled at render time.
+type Gauges struct {
+	QueueDepth    int
+	QueueCapacity int
+	Workers       int
+	Inflight      int
+	Draining      bool
+
+	CacheEntries   int
+	CacheBytes     int64
+	CacheBudget    int64
+	CacheEvictions uint64
+
+	ResumeStores int
+}
+
+// WriteProm renders every counter and the sampled gauges in Prometheus
+// text exposition format (version 0.0.4).
+func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+
+	gauge("lowrankd_queue_depth", "Jobs waiting in the submission queue.", float64(g.QueueDepth))
+	gauge("lowrankd_queue_capacity", "Submission queue capacity.", float64(g.QueueCapacity))
+	gauge("lowrankd_workers", "Configured worker slots.", float64(g.Workers))
+	gauge("lowrankd_inflight_jobs", "Jobs currently being solved.", float64(g.Inflight))
+	gauge("lowrankd_draining", "1 while the scheduler is draining.", b2f(g.Draining))
+	gauge("lowrankd_gomaxprocs", "Kernel-pool parallelism (GOMAXPROCS).", float64(runtime.GOMAXPROCS(0)))
+
+	counter("lowrankd_cache_hits_total", "Requests satisfied from the result cache.", m.cacheHits)
+	counter("lowrankd_singleflight_hits_total", "Requests joined onto an identical in-flight job.", m.singleflight)
+	counter("lowrankd_cache_misses_total", "Requests admitted for a fresh solve.", m.cacheMisses)
+	counter("lowrankd_cache_evictions_total", "Cache entries evicted under the byte budget.", g.CacheEvictions)
+	gauge("lowrankd_cache_entries", "Resident cache entries.", float64(g.CacheEntries))
+	gauge("lowrankd_cache_bytes", "Estimated resident cache bytes.", float64(g.CacheBytes))
+	gauge("lowrankd_cache_budget_bytes", "Cache byte budget.", float64(g.CacheBudget))
+	counter("lowrankd_queue_rejections_total", "Submissions rejected with 429 (queue full).", m.rejections)
+	counter("lowrankd_drain_rejections_total", "Submissions rejected with 503 (draining).", m.drainRejects)
+	gauge("lowrankd_resume_stores", "Retained checkpoint stores awaiting resume.", float64(g.ResumeStores))
+
+	fmt.Fprintf(w, "# HELP lowrankd_jobs_total Jobs by terminal status.\n# TYPE lowrankd_jobs_total counter\n")
+	for _, s := range []Status{StatusDone, StatusFailed, StatusCanceled, StatusExpired} {
+		fmt.Fprintf(w, "lowrankd_jobs_total{status=%q} %d\n", string(s), m.jobsTotal[s])
+	}
+
+	fmt.Fprintf(w, "# HELP lowrankd_http_requests_total HTTP responses by status code.\n# TYPE lowrankd_http_requests_total counter\n")
+	codes := make([]int, 0, len(m.httpCodes))
+	for c := range m.httpCodes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "lowrankd_http_requests_total{code=\"%d\"} %d\n", c, m.httpCodes[c])
+	}
+
+	methods := make([]string, 0, len(m.solves))
+	for name := range m.solves {
+		methods = append(methods, name)
+	}
+	sort.Strings(methods)
+	fmt.Fprintf(w, "# HELP lowrankd_solves_total Fresh solves by algorithm.\n# TYPE lowrankd_solves_total counter\n")
+	for _, name := range methods {
+		fmt.Fprintf(w, "lowrankd_solves_total{method=%q} %d\n", name, m.solves[name])
+	}
+	fmt.Fprintf(w, "# HELP lowrankd_solve_seconds Solve wall latency by algorithm.\n# TYPE lowrankd_solve_seconds histogram\n")
+	for _, name := range methods {
+		h := m.latency[name]
+		if h == nil {
+			continue
+		}
+		var cum uint64
+		for i, le := range solveBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "lowrankd_solve_seconds_bucket{method=%q,le=%q} %d\n", name, formatLE(le), cum)
+		}
+		fmt.Fprintf(w, "lowrankd_solve_seconds_bucket{method=%q,le=\"+Inf\"} %d\n", name, h.total)
+		fmt.Fprintf(w, "lowrankd_solve_seconds_sum{method=%q} %g\n", name, h.sum)
+		fmt.Fprintf(w, "lowrankd_solve_seconds_count{method=%q} %d\n", name, h.total)
+	}
+	if len(m.virtualSeconds) > 0 {
+		fmt.Fprintf(w, "# HELP lowrankd_dist_virtual_seconds_total Modeled distributed runtime by algorithm.\n# TYPE lowrankd_dist_virtual_seconds_total counter\n")
+		vms := make([]string, 0, len(m.virtualSeconds))
+		for name := range m.virtualSeconds {
+			vms = append(vms, name)
+		}
+		sort.Strings(vms)
+		for _, name := range vms {
+			fmt.Fprintf(w, "lowrankd_dist_virtual_seconds_total{method=%q} %g\n", name, m.virtualSeconds[name])
+		}
+	}
+}
+
+func formatLE(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", le)
+}

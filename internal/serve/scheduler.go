@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sparselr/internal/core"
+	"sparselr/internal/dist"
+)
+
+// Submission errors the HTTP layer maps to distinct status codes.
+var (
+	// ErrQueueFull: the bounded submission queue is at capacity (429).
+	ErrQueueFull = errors.New("serve: submission queue full")
+	// ErrDraining: the scheduler is shutting down (503).
+	ErrDraining = errors.New("serve: scheduler draining")
+)
+
+// Outcome describes how a submission was satisfied.
+type Outcome string
+
+const (
+	// Enqueued: admitted for a fresh solve.
+	Enqueued Outcome = "enqueued"
+	// CacheHit: answered immediately from the result cache.
+	CacheHit Outcome = "cache_hit"
+	// Joined: deduplicated onto an identical in-flight job.
+	Joined Outcome = "joined"
+)
+
+// SolveFunc computes one approximation. store is non-nil only for
+// checkpointed jobs (Spec.Checkpointed). Tests substitute this to
+// count and gate solves; production uses DefaultSolve.
+type SolveFunc func(spec *Spec, store *dist.CheckpointStore) (*core.Approximation, error)
+
+// DefaultSolve materializes the matrix and runs the library entry
+// point.
+func DefaultSolve(spec *Spec, store *dist.CheckpointStore) (*core.Approximation, error) {
+	a, err := spec.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	opts := spec.CoreOptions()
+	if store != nil {
+		opts.CheckpointEvery = spec.CheckpointEvery
+		opts.CheckpointStore = store
+	}
+	return core.Approximate(a, opts)
+}
+
+// ResumeRegistry retains the dist.CheckpointStore of every
+// checkpointed job until that job succeeds, keyed by the job's
+// content-addressed request key. A daemon restart that keeps the
+// registry (or a failed run that is resubmitted) hands the store back
+// to the solver, which resumes from the newest complete snapshot.
+type ResumeRegistry struct {
+	mu     sync.Mutex
+	stores map[string]*dist.CheckpointStore
+}
+
+// NewResumeRegistry returns an empty registry.
+func NewResumeRegistry() *ResumeRegistry {
+	return &ResumeRegistry{stores: map[string]*dist.CheckpointStore{}}
+}
+
+// Acquire returns the retained store for key, creating one if absent.
+func (r *ResumeRegistry) Acquire(key string) *dist.CheckpointStore {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.stores[key]
+	if !ok {
+		st = dist.NewCheckpointStore()
+		r.stores[key] = st
+	}
+	return st
+}
+
+// Release drops the store for key (the job completed; its snapshots
+// are dead weight).
+func (r *ResumeRegistry) Release(key string) {
+	r.mu.Lock()
+	delete(r.stores, key)
+	r.mu.Unlock()
+}
+
+// Len counts retained stores (an operational gauge).
+func (r *ResumeRegistry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.stores)
+}
+
+// SchedulerConfig sizes a Scheduler. Zero values get defaults.
+type SchedulerConfig struct {
+	Workers    int           // worker slots (0 = 4)
+	QueueDepth int           // bounded queue capacity (0 = 64)
+	Deadline   time.Duration // default per-job deadline (0 = none)
+	Solve      SolveFunc     // nil = DefaultSolve
+	Cache      *Cache        // nil = no result cache
+	Resume     *ResumeRegistry
+	Metrics    *Metrics // nil = a private unexported set
+}
+
+// Scheduler is the bounded job queue and worker pool. Submit applies
+// admission control (cache, singleflight, queue capacity); workers
+// drive SolveFunc; Drain stops admission and completes queued and
+// in-flight work.
+type Scheduler struct {
+	cfg     SchedulerConfig
+	queue   chan *Job
+	wg      sync.WaitGroup
+	metrics *Metrics
+
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+	inflight map[string]*Job // singleflight: key → queued-or-running job
+	jobs     map[string]*Job // id → job (bounded by jobHistory)
+	order    []string        // insertion order of jobs, for trimming
+	running  int
+}
+
+// jobHistory bounds the id → job map so an unattended daemon does not
+// grow without bound; the oldest terminal jobs are dropped first.
+const jobHistory = 4096
+
+// NewScheduler builds and starts the worker pool.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Solve == nil {
+		cfg.Solve = DefaultSolve
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		metrics:  cfg.Metrics,
+		inflight: map[string]*Job{},
+		jobs:     map[string]*Job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the configured worker-slot count.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// QueueDepth returns (queued jobs, queue capacity).
+func (s *Scheduler) QueueDepth() (int, int) { return len(s.queue), s.cfg.QueueDepth }
+
+// Inflight returns the number of jobs currently being solved.
+func (s *Scheduler) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Submit applies admission control to a validated spec and returns the
+// job that will satisfy it (already terminal for a cache hit) plus the
+// admission outcome. Errors: ErrDraining, ErrQueueFull.
+func (s *Scheduler) Submit(spec *Spec) (*Job, Outcome, error) {
+	key := spec.Key()
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Result cache first: a hit needs no queue slot even while full.
+	if s.cfg.Cache != nil {
+		if ap, ok := s.cfg.Cache.Get(key); ok {
+			j := newJob(nextJobID(), spec, now, time.Time{})
+			j.cached = true
+			j.status = StatusDone
+			j.ap = ap
+			j.finishedAt = now
+			close(j.done)
+			s.rememberLocked(j)
+			s.metrics.CacheHit()
+			return j, CacheHit, nil
+		}
+	}
+	// Singleflight: join an identical queued-or-running job.
+	if flight, ok := s.inflight[key]; ok {
+		s.metrics.SingleflightHit()
+		return flight, Joined, nil
+	}
+	if s.draining {
+		s.metrics.DrainRejected()
+		return nil, "", ErrDraining
+	}
+	j := newJob(nextJobID(), spec, now, spec.Deadline(now, s.cfg.Deadline))
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.Rejected()
+		return nil, "", ErrQueueFull
+	}
+	s.inflight[key] = j
+	s.rememberLocked(j)
+	s.metrics.CacheMiss()
+	return j, Enqueued, nil
+}
+
+// rememberLocked indexes a job by id, trimming the oldest terminal
+// jobs past jobHistory. Caller holds s.mu.
+func (s *Scheduler) rememberLocked(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.order) > jobHistory {
+		old, ok := s.jobs[s.order[0]]
+		if ok && !old.Status().Terminal() {
+			break // never forget a live job
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Job looks a job up by id.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a still-queued job by id. It reports false when the
+// job is unknown or already running/terminal (solves are not
+// preemptible).
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if !j.cancel(StatusCanceled, fmt.Errorf("serve: job %s canceled", id), time.Now()) {
+		return false
+	}
+	s.clearFlight(j)
+	s.metrics.JobFinished(StatusCanceled)
+	return true
+}
+
+// clearFlight removes a job from the singleflight table if it is still
+// the registered flight for its key.
+func (s *Scheduler) clearFlight(j *Job) {
+	s.mu.Lock()
+	if cur, ok := s.inflight[j.Key]; ok && cur == j {
+		delete(s.inflight, j.Key)
+	}
+	s.mu.Unlock()
+}
+
+// worker drains the queue: skip canceled/expired jobs, solve the rest,
+// publish results to the cache, and settle waiters.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		now := time.Now()
+		if !j.Deadline.IsZero() && now.After(j.Deadline) {
+			if j.cancel(StatusExpired, fmt.Errorf("serve: job %s deadline exceeded while queued", j.ID), now) {
+				s.metrics.JobFinished(StatusExpired)
+			}
+			s.clearFlight(j)
+			continue
+		}
+		if !j.markRunning(now) {
+			// Canceled (or raced to expiry) while queued; cancel already
+			// settled status, waiters and metrics.
+			s.clearFlight(j)
+			continue
+		}
+		s.mu.Lock()
+		s.running++
+		s.mu.Unlock()
+
+		var store *dist.CheckpointStore
+		if s.cfg.Resume != nil && j.Spec.Checkpointed() {
+			store = s.cfg.Resume.Acquire(j.Key)
+		}
+		start := time.Now()
+		ap, err := s.cfg.Solve(j.Spec, store)
+		wall := time.Since(start)
+
+		if err == nil {
+			if s.cfg.Cache != nil {
+				s.cfg.Cache.Put(j.Key, ap)
+			}
+			if s.cfg.Resume != nil && store != nil {
+				s.cfg.Resume.Release(j.Key)
+			}
+			s.metrics.SolveDone(j.Spec.Method, wall, apVirtualTime(ap))
+			j.finish(StatusDone, ap, nil, time.Now())
+			s.metrics.JobFinished(StatusDone)
+		} else {
+			// Keep the checkpoint store: a resubmission resumes from the
+			// newest complete snapshot.
+			j.finish(StatusFailed, nil, err, time.Now())
+			s.metrics.JobFinished(StatusFailed)
+		}
+
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		s.clearFlight(j)
+	}
+}
+
+func apVirtualTime(ap *core.Approximation) float64 {
+	if ap == nil {
+		return 0
+	}
+	return ap.VirtualTime
+}
+
+// Drain stops admission (new submissions fail with ErrDraining; joins
+// on in-flight jobs still succeed), lets the workers finish every
+// queued and in-flight job, and returns when the pool is idle or ctx
+// expires. It is idempotent.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with work outstanding: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,495 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sparselr/internal/core"
+	"sparselr/internal/mat"
+	"sparselr/internal/sparse"
+)
+
+// Config sizes a Server. Zero values get the SchedulerConfig defaults
+// and a 256 MiB cache.
+type Config struct {
+	Workers    int
+	QueueDepth int
+	CacheBytes int64         // result-cache byte budget (<0 disables)
+	Deadline   time.Duration // default per-job deadline (0 = none)
+	Solve      SolveFunc     // nil = DefaultSolve
+	Resume     *ResumeRegistry
+	Metrics    *Metrics
+
+	// MaxBodyBytes bounds uploaded request bodies (0 = 64 MiB).
+	MaxBodyBytes int64
+
+	// RetryAfter is the Retry-After hint on 429 responses in seconds
+	// (0 = 1).
+	RetryAfter int
+}
+
+// Server wires the scheduler, cache and metrics behind the HTTP API:
+//
+//	POST   /v1/jobs                submit (JSON spec or MatrixMarket body)
+//	GET    /v1/jobs/{id}           status (?wait=dur blocks)
+//	DELETE /v1/jobs/{id}           cancel a queued job
+//	GET    /v1/jobs/{id}/result    result summary (solver errors get
+//	                               their class-specific status code)
+//	GET    /v1/jobs/{id}/factors/{name}  factor as JSON or MatrixMarket
+//	GET    /healthz                liveness (503 while draining)
+//	GET    /metrics                Prometheus text format
+type Server struct {
+	sched   *Scheduler
+	cache   *Cache
+	resume  *ResumeRegistry
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	maxBody    int64
+	retryAfter int
+}
+
+// NewServer builds the server and starts its scheduler workers.
+func NewServer(cfg Config) *Server {
+	var cache *Cache
+	if cfg.CacheBytes >= 0 {
+		budget := cfg.CacheBytes
+		if budget == 0 {
+			budget = 256 << 20
+		}
+		cache = NewCache(budget)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	if cfg.Resume == nil {
+		cfg.Resume = NewResumeRegistry()
+	}
+	s := &Server{
+		cache:      cache,
+		resume:     cfg.Resume,
+		metrics:    cfg.Metrics,
+		maxBody:    cfg.MaxBodyBytes,
+		retryAfter: cfg.RetryAfter,
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 64 << 20
+	}
+	if s.retryAfter <= 0 {
+		s.retryAfter = 1
+	}
+	s.sched = NewScheduler(SchedulerConfig{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		Deadline:   cfg.Deadline,
+		Solve:      cfg.Solve,
+		Cache:      cache,
+		Resume:     cfg.Resume,
+		Metrics:    cfg.Metrics,
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/factors/{name}", s.handleFactor)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Scheduler exposes the underlying scheduler (drain, tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Drain stops admission and completes outstanding work (SIGTERM path).
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// ServeHTTP implements http.Handler with response-code accounting.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	s.metrics.HTTPResponse(rec.code)
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// submitResponse is the POST /v1/jobs payload: the job view plus how
+// admission satisfied the request.
+type submitResponse struct {
+	View
+	Outcome Outcome `json:"outcome"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := s.parseSubmit(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, outcome, err := s.sched.Submit(spec)
+	switch {
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait != "" && !job.Status().Terminal() {
+		d, perr := time.ParseDuration(wait)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad wait duration %q: %v", wait, perr))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		job.Wait(ctx)
+		cancel()
+	}
+	code := http.StatusAccepted
+	v := job.view()
+	if v.Status.Terminal() {
+		code = terminalCode(v)
+	}
+	writeJSON(w, code, submitResponse{View: v, Outcome: outcome})
+}
+
+// parseSubmit accepts either an application/json Spec or a raw
+// MatrixMarket body with the solver knobs in the query string.
+func (s *Server) parseSubmit(r *http.Request) (*Spec, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading body: %v", err)
+	}
+	if int64(len(body)) > s.maxBody {
+		return nil, fmt.Errorf("serve: request body exceeds %d bytes", s.maxBody)
+	}
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		spec := &Spec{}
+		if err := json.Unmarshal(body, spec); err != nil {
+			return nil, fmt.Errorf("serve: bad JSON spec: %v", err)
+		}
+		return spec, nil
+	}
+	// MatrixMarket upload: knobs from the query string.
+	q := r.URL.Query()
+	spec := &Spec{
+		MatrixMarket: string(body),
+		Method:       q.Get("method"),
+		Sketch:       q.Get("sketch"),
+		Scale:        q.Get("scale"),
+	}
+	if spec.Method == "" {
+		spec.Method = "LU_CRTP"
+	}
+	var perr error
+	getF := func(name string, dst *float64) {
+		if v := q.Get(name); v != "" && perr == nil {
+			*dst, perr = strconv.ParseFloat(v, 64)
+			if perr != nil {
+				perr = fmt.Errorf("serve: bad %s %q: %v", name, v, perr)
+			}
+		}
+	}
+	getI := func(name string, dst *int) {
+		if v := q.Get(name); v != "" && perr == nil {
+			*dst, perr = strconv.Atoi(v)
+			if perr != nil {
+				perr = fmt.Errorf("serve: bad %s %q: %v", name, v, perr)
+			}
+		}
+	}
+	getF("tol", &spec.Tol)
+	getI("k", &spec.BlockSize)
+	getI("power", &spec.Power)
+	getI("maxrank", &spec.MaxRank)
+	getI("sketchnnz", &spec.SketchNNZ)
+	getI("procs", &spec.Procs)
+	getI("checkpoint_every", &spec.CheckpointEvery)
+	if v := q.Get("seed"); v != "" && perr == nil {
+		spec.Seed, perr = strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			perr = fmt.Errorf("serve: bad seed %q: %v", v, perr)
+		}
+	}
+	if v := q.Get("deadline_ms"); v != "" && perr == nil {
+		spec.DeadlineMS, perr = strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			perr = fmt.Errorf("serve: bad deadline_ms %q: %v", v, perr)
+		}
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	return spec, nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait != "" && !job.Status().Terminal() {
+		d, perr := time.ParseDuration(wait)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad wait duration %q: %v", wait, perr))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		job.Wait(ctx)
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.sched.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	if !s.sched.Cancel(id) {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: job %s is %s; only queued jobs can be canceled", id, job.Status()))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	v := job.view()
+	if !v.Status.Terminal() {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: job %s is still %s", job.ID, v.Status))
+		return
+	}
+	writeJSON(w, terminalCode(v), v)
+}
+
+func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	ap, err := job.Result()
+	if ap == nil {
+		if err != nil {
+			writeError(w, failureCode(err), err)
+			return
+		}
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: job %s is still %s", job.ID, job.Status()))
+		return
+	}
+	name := r.PathValue("name")
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if err := writeFactor(w, ap, name, format); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.sched.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.sched.QueueDepth()
+	g := Gauges{
+		QueueDepth:    depth,
+		QueueCapacity: capacity,
+		Workers:       s.sched.Workers(),
+		Inflight:      s.sched.Inflight(),
+		Draining:      s.sched.Draining(),
+		ResumeStores:  s.resume.Len(),
+	}
+	if s.cache != nil {
+		g.CacheEntries, g.CacheBytes, g.CacheBudget, g.CacheEvictions = s.cache.Stats()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteProm(w, g)
+}
+
+// terminalCode maps a terminal job view to its HTTP status: success
+// and the admission-level terminal states are 200; solver failures get
+// the class code (see failureCode).
+func terminalCode(v View) int {
+	switch v.Status {
+	case StatusDone, StatusCanceled, StatusExpired:
+		return http.StatusOK
+	}
+	switch v.ErrorClass {
+	case core.FailureBreakdown.String():
+		return http.StatusUnprocessableEntity
+	case core.FailureDeadlock.String():
+		return http.StatusLoopDetected
+	}
+	return http.StatusInternalServerError
+}
+
+// failureCode maps a solve error to the class-specific status code,
+// mirroring cmd/lowrank's exit codes: breakdown (exit 2) → 422,
+// rank crash (exit 3) → 500, deadlock (exit 3) → 508.
+func failureCode(err error) int {
+	switch core.ClassifyFailure(err) {
+	case core.FailureBreakdown:
+		return http.StatusUnprocessableEntity
+	case core.FailureDeadlock:
+		return http.StatusLoopDetected
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	payload := map[string]interface{}{"error": err.Error()}
+	if class := core.ClassifyFailure(err); class != core.FailureOther && class != core.FailureNone {
+		payload["error_class"] = class.String()
+		payload["exit_code"] = class.ExitCode()
+	}
+	writeJSON(w, code, payload)
+}
+
+// writeFactor serializes one factor of a completed approximation as
+// JSON ({"rows","cols","data"} row-major, or {"values"} for the
+// singular-value vector) or MatrixMarket (coordinate for the sparse
+// L/U factors, dense array format otherwise).
+func writeFactor(w http.ResponseWriter, ap *core.Approximation, name, format string) error {
+	if format != "json" && format != "mm" {
+		return fmt.Errorf("serve: unknown factor format %q (want json or mm)", format)
+	}
+	var d *mat.Dense
+	var csr *sparse.CSR
+	var vec []float64
+	switch {
+	case ap.LU != nil:
+		switch name {
+		case "L":
+			csr = ap.LU.L
+		case "U":
+			csr = ap.LU.U
+		}
+	case ap.QB != nil:
+		switch name {
+		case "Q":
+			d = ap.QB.Q
+		case "B":
+			d = ap.QB.B
+		}
+	case ap.UBV != nil:
+		switch name {
+		case "U":
+			d = ap.UBV.U
+		case "B":
+			d = ap.UBV.B
+		case "V":
+			d = ap.UBV.V
+		}
+	case ap.SVD != nil:
+		switch name {
+		case "U":
+			d = ap.SVD.U
+		case "S":
+			vec = ap.SVD.S
+		case "V":
+			d = ap.SVD.V
+		}
+	case ap.RS != nil:
+		switch name {
+		case "U":
+			d = ap.RS.U
+		case "S":
+			vec = ap.RS.S
+		case "V":
+			d = ap.RS.V
+		}
+	case ap.ARRF != nil:
+		if name == "Q" {
+			d = ap.ARRF.Q
+		}
+	}
+	if d == nil && csr == nil && vec == nil {
+		return fmt.Errorf("serve: method %s has no factor %q (available: %v)",
+			ap.Method, name, factorNames(ap))
+	}
+	switch {
+	case csr != nil && format == "mm":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		return csr.WriteMatrixMarket(w)
+	case csr != nil:
+		d = csr.ToDense()
+	case vec != nil:
+		if format == "mm" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "%%%%MatrixMarket matrix array real general\n%d 1\n", len(vec))
+			for _, v := range vec {
+				fmt.Fprintf(w, "%.17g\n", v)
+			}
+			return nil
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"name": name, "values": vec})
+		return nil
+	}
+	if format == "mm" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Dense array format is column-major per the MatrixMarket spec.
+		fmt.Fprintf(w, "%%%%MatrixMarket matrix array real general\n%d %d\n", d.Rows, d.Cols)
+		for j := 0; j < d.Cols; j++ {
+			for i := 0; i < d.Rows; i++ {
+				fmt.Fprintf(w, "%.17g\n", d.At(i, j))
+			}
+		}
+		return nil
+	}
+	data := make([]float64, 0, d.Rows*d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			data = append(data, d.At(i, j))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"name": name, "rows": d.Rows, "cols": d.Cols, "data": data,
+	})
+	return nil
+}

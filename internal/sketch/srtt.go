@@ -28,10 +28,10 @@ import (
 // Each Next(k) consumes exactly n + kp + k Uint64 variates (bucket+sign
 // per row, diagonal sign per bucket, subsample draw per output column).
 type srttSketcher struct {
-	n     int
-	seed  int64
-	rng   *rand.Rand
-	draws int
+	n      int
+	seed   int64
+	rng    *rand.Rand
+	draws  int
 	bucket []int
 	bsign  []float64
 	diag   []float64

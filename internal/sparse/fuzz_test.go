@@ -17,6 +17,15 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("")
 	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999\n1 1 1\n")
+	// Symmetric/pattern headers the serving layer accepts as uploads:
+	// the daemon must never panic on malformed variants of these.
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n")
+	f.Add("%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 1\n3 1 2.5\n")
+	f.Add("%%MatrixMarket matrix coordinate integer symmetric\n2 2 2\n1 1 7\n2 1 -3\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1.0 extra\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n% hdr\n%\n3 3 1\n4 1 1.0\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		if len(input) > 1<<16 {
 			return

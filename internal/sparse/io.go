@@ -33,78 +33,99 @@ func (a *CSR) WriteMatrixMarket(w io.Writer) error {
 
 // ReadMatrixMarket parses a MatrixMarket coordinate file. Supported
 // qualifiers: real/integer/pattern values, general/symmetric/
-// skew-symmetric structure (symmetric halves are expanded).
+// skew-symmetric structure (symmetric halves are expanded). Parse
+// errors carry the 1-based line number of the offending line so a
+// malformed service upload is diagnosable from the error alone.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
-	if !sc.Scan() {
+	lineNo := 0
+	scan := func() bool {
+		if !sc.Scan() {
+			return false
+		}
+		lineNo++
+		return true
+	}
+	errAt := func(format string, args ...interface{}) error {
+		return fmt.Errorf("sparse: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	if !scan() {
 		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
 	}
 	header := strings.Fields(strings.ToLower(sc.Text()))
 	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
-		return nil, fmt.Errorf("sparse: bad MatrixMarket banner %q", sc.Text())
+		return nil, errAt("bad MatrixMarket banner %q", sc.Text())
 	}
 	if header[2] != "coordinate" {
-		return nil, fmt.Errorf("sparse: only coordinate format is supported, got %q", header[2])
+		return nil, errAt("only coordinate format is supported, got %q", header[2])
 	}
 	valType := header[3]
 	switch valType {
 	case "real", "integer", "pattern":
 	default:
-		return nil, fmt.Errorf("sparse: unsupported value type %q", valType)
+		return nil, errAt("unsupported value type %q", valType)
 	}
 	sym := header[4]
 	switch sym {
 	case "general", "symmetric", "skew-symmetric":
 	default:
-		return nil, fmt.Errorf("sparse: unsupported symmetry %q", sym)
+		return nil, errAt("unsupported symmetry %q", sym)
 	}
 	// Skip comments, read the size line.
 	var m, n, nnz int
-	for sc.Scan() {
+	sized := false
+	for scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
 		if _, err := fmt.Sscan(line, &m, &n, &nnz); err != nil {
-			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+			return nil, errAt("bad size line %q: %v", line, err)
 		}
+		sized = true
 		break
 	}
+	if !sized {
+		return nil, fmt.Errorf("sparse: line %d: missing size line", lineNo)
+	}
 	if m <= 0 || n <= 0 {
-		return nil, fmt.Errorf("sparse: bad dimensions %d×%d", m, n)
+		return nil, errAt("bad dimensions %d×%d", m, n)
+	}
+	if nnz < 0 {
+		return nil, errAt("negative entry count %d", nnz)
 	}
 	b := NewBuilder(m, n)
 	read := 0
-	for read < nnz && sc.Scan() {
+	for read < nnz && scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+			return nil, errAt("bad entry line %q", line)
 		}
 		i, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("sparse: bad row index %q: %w", fields[0], err)
+			return nil, errAt("bad row index %q: %v", fields[0], err)
 		}
 		j, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("sparse: bad column index %q: %w", fields[1], err)
+			return nil, errAt("bad column index %q: %v", fields[1], err)
 		}
 		v := 1.0
 		if valType != "pattern" {
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("sparse: missing value in %q", line)
+				return nil, errAt("missing value in %q", line)
 			}
 			v, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("sparse: bad value %q: %w", fields[2], err)
+				return nil, errAt("bad value %q: %v", fields[2], err)
 			}
 		}
 		if i < 1 || i > m || j < 1 || j > n {
-			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %d×%d", i, j, m, n)
+			return nil, errAt("entry (%d,%d) outside %d×%d", i, j, m, n)
 		}
 		b.Add(i-1, j-1, v)
 		if i != j {
@@ -118,7 +139,7 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		read++
 	}
 	if read < nnz {
-		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
+		return nil, fmt.Errorf("sparse: line %d: expected %d entries, got %d", lineNo, nnz, read)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

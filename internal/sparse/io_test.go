@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -75,19 +76,36 @@ func TestReadMatrixMarketPattern(t *testing.T) {
 }
 
 func TestReadMatrixMarketErrors(t *testing.T) {
-	cases := map[string]string{
-		"empty":        "",
-		"bad banner":   "%%NotMatrixMarket\n1 1 0\n",
-		"array format": "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
-		"bad dims":     "%%MatrixMarket matrix coordinate real general\n0 2 0\n",
-		"short file":   "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
-		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
-		"bad value":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
-		"complex":      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n",
+	// line 0 means "no line number expected in the message" (stream-level
+	// errors like an empty input have no offending line to report).
+	cases := map[string]struct {
+		src  string
+		line int
+	}{
+		"empty":        {"", 0},
+		"bad banner":   {"%%NotMatrixMarket\n1 1 0\n", 1},
+		"array format": {"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n", 1},
+		"bad dims":     {"%%MatrixMarket matrix coordinate real general\n0 2 0\n", 2},
+		"bad size":     {"%%MatrixMarket matrix coordinate real general\n% note\ntwo 2 1\n", 3},
+		"missing size": {"%%MatrixMarket matrix coordinate real general\n% only comments\n", 0},
+		"short file":   {"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", 3},
+		"out of range": {"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n", 3},
+		"bad value":    {"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 xyz\n", 4},
+		"bad row":      {"%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n", 3},
+		"complex":      {"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n", 1},
+		"hermitian":    {"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1.0\n", 1},
 	}
-	for name, src := range cases {
-		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+	for name, c := range cases {
+		_, err := ReadMatrixMarket(strings.NewReader(c.src))
+		if err == nil {
 			t.Errorf("case %q: expected an error", name)
+			continue
+		}
+		if c.line > 0 {
+			want := fmt.Sprintf("line %d:", c.line)
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("case %q: error %q does not report %q", name, err, want)
+			}
 		}
 	}
 }

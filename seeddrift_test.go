@@ -52,7 +52,9 @@ func driftMatrix(m, n, r int, rate float64, seed int64) *sparse.CSR {
 }
 
 // driftHash accumulates uint64 words into FNV-64a in little-endian order.
-type driftHash struct{ h interface{ Write([]byte) (int, error) } }
+type driftHash struct {
+	h interface{ Write([]byte) (int, error) }
+}
 
 func newDriftHash() *driftHash { return &driftHash{fnv.New64a()} }
 

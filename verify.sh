@@ -1,28 +1,43 @@
 #!/usr/bin/env bash
 # Repo verification gate. Runs, in order:
-#   1. go vet ./...
-#   2. go build ./...
-#   3. go test ./...           (tier-1)
-#   4. go test -race over the packages with parallel kernels, the
-#      fault-injection paths and the sketch layer, under a watchdog
-#      -timeout so a deadlock regression fails the gate instead of
-#      hanging it
-#   5. seed-drift gate: the default-Gaussian solver outputs must hash to
+#   1. gofmt -l (tree must be gofmt-clean)
+#   2. go vet ./...
+#   3. go build ./...
+#   4. go test ./...           (tier-1)
+#   5. go test -race over the packages with parallel kernels, the
+#      fault-injection paths, the sketch layer and the serving layer
+#      (the >=32-concurrent-client daemon acceptance test), under a
+#      watchdog -timeout so a deadlock regression fails the gate
+#      instead of hanging it
+#   6. seed-drift gate: the default-Gaussian solver outputs must hash to
 #      the golden values captured from the pre-sketch-layer code
 #      (seeddrift_test.go) so published seed results stand
-#   6. doc-link check: relative links in *.md must resolve
-#   7. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
-#   8. dist collective micro-benchmarks (traced vs untraced) -> BENCH_dist.json
-#   9. sketch micro-benchmarks -> BENCH_sketch.json (ns/op + allocs/op),
+#   7. doc-link check: relative links in *.md must resolve
+#   8. daemon smoke test: build cmd/lowrankd, boot it on an ephemeral
+#      port, submit a workload twice (cold solve then cache hit),
+#      SIGTERM-drain cleanly -> BENCH_serve.json (cold vs cached
+#      latency, cached requests/sec)
+#   9. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
+#  10. dist collective micro-benchmarks (traced vs untraced) -> BENCH_dist.json
+#  11. sketch micro-benchmarks -> BENCH_sketch.json (ns/op + allocs/op),
 #      asserting SparseSign apply >= 3x faster than Gaussian and
 #      0 allocs/op on the Gaussian/SparseSign apply paths
 #
 # Environment knobs:
-#   SKIP_BENCH=1    skip steps 7-9
-#   BENCHTIME=...   per-benchmark budget for steps 7-9 (default 200ms)
-#   TESTTIMEOUT=... watchdog for steps 3-5 (default 10m)
+#   SKIP_BENCH=1    skip steps 8-11
+#   BENCHTIME=...   per-benchmark budget for steps 9-11 (default 200ms)
+#   TESTTIMEOUT=... watchdog for steps 4-6 and 8 (default 10m)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: files need formatting:"
+    echo "$unformatted"
+    exit 1
+fi
+echo "gofmt clean"
 
 echo "== go vet ./..."
 go vet ./...
@@ -33,9 +48,9 @@ go build ./...
 echo "== go test ./..."
 go test -timeout "${TESTTIMEOUT:-10m}" ./...
 
-echo "== go test -race (kernel + fault-injection packages, watchdog timeout)"
+echo "== go test -race (kernel + fault-injection + serving packages, watchdog timeout)"
 go test -race -timeout "${TESTTIMEOUT:-10m}" \
-    ./internal/mat ./internal/sparse ./internal/sketch \
+    ./internal/mat ./internal/sparse ./internal/sketch ./internal/serve \
     ./internal/dist/... ./internal/randqb/... ./internal/randubv/... ./internal/lucrtp/...
 
 echo "== seed-drift gate (default-Gaussian bit-identity vs golden hashes)"
@@ -65,6 +80,12 @@ fi
 echo "doc links OK"
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+    echo "== daemon smoke test (cold solve -> cache hit -> clean drain)"
+    BENCH_SERVE_OUT="$PWD/BENCH_serve.json" \
+        go test -run '^TestDaemonSmoke$' -count=1 -timeout "${TESTTIMEOUT:-10m}" -v ./cmd/lowrankd \
+        | grep -E '^(=== RUN|--- |ok|FAIL|    smoke)'
+    echo "wrote BENCH_serve.json"
+
     echo "== kernel micro-benchmarks"
     out=$(go test -run '^$' -bench '^BenchmarkKernel' -benchtime "${BENCHTIME:-200ms}" . ./internal/mat | grep -E '^Benchmark')
     echo "$out"
