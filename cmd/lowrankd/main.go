@@ -15,6 +15,14 @@
 //	curl -s 'http://127.0.0.1:8371/v1/jobs?method=LU_CRTP&tol=1e-2&wait=30s' \
 //	     --data-binary @my.mtx
 //
+// Many small requests go fastest through the batch endpoint, which runs
+// them as one kernel-pool submission instead of one dispatch per job:
+//
+//	curl -s 'http://127.0.0.1:8371/v1/batch?wait=30s' \
+//	     -H 'Content-Type: application/json' \
+//	     -d '{"jobs":[{"matrix":"M1","method":"RandQB_EI","tol":1e-2},
+//	                  {"matrix":"M2","method":"RandQB_EI","tol":1e-2}]}'
+//
 // Resubmitting an identical request is answered from the cache without
 // recomputing. SIGTERM/SIGINT drains gracefully: new submissions get
 // 503 while queued and in-flight jobs run to completion (bounded by

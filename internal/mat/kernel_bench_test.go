@@ -62,6 +62,11 @@ func BenchmarkKernelGEMMPacked512(b *testing.B) {
 	}
 }
 
+// MulT and MulBT are benchmarked on comparable shapes: both do
+// 2048·128·128 ≈ 33.5M multiply-adds into a 128×128 output, so the
+// KernelMulBT ≤ 2×KernelMulT gate in verify.sh compares per-flop cost,
+// not problem size. The *Serial variants pin GOMAXPROCS=1 so verify.sh
+// can emit parallel-vs-serial speedup ratios.
 func BenchmarkKernelMulT(b *testing.B) {
 	x := randDense(2048, 128, 1)
 	y := randDense(2048, 128, 2)
@@ -71,11 +76,71 @@ func BenchmarkKernelMulT(b *testing.B) {
 	}
 }
 
+func BenchmarkKernelMulTSerial(b *testing.B) {
+	x := randDense(2048, 128, 1)
+	y := randDense(2048, 128, 2)
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulT(x, y)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
 func BenchmarkKernelMulBT(b *testing.B) {
+	x := randDense(128, 2048, 3)
+	y := randDense(128, 2048, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulBT(x, y)
+	}
+}
+
+func BenchmarkKernelMulBTSerial(b *testing.B) {
+	x := randDense(128, 2048, 3)
+	y := randDense(128, 2048, 4)
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulBT(x, y)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
+// BenchmarkKernelMulBTLarge keeps the historical 1024×256 · (1024×256)ᵀ
+// shape (268M multiply-adds, 1024×1024 output) so regressions on large
+// outer-product-like products stay visible.
+func BenchmarkKernelMulBTLarge(b *testing.B) {
 	x := randDense(1024, 256, 3)
 	y := randDense(1024, 256, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MulBT(x, y)
 	}
+}
+
+// Odd-shape GEMM: m not a multiple of gemmMR, n and k straddling the
+// gemmNC/gemmKC block edges, so the ragged-edge kernel and the second
+// jc/pc blocks are all exercised.
+func BenchmarkKernelGEMMOdd(b *testing.B) {
+	x := randDense(509, 259, 21)
+	y := randDense(259, 517, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkKernelGEMMOddSerial(b *testing.B) {
+	x := randDense(509, 259, 21)
+	y := randDense(259, 517, 22)
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
 }

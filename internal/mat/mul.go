@@ -5,19 +5,23 @@ import (
 	"runtime"
 )
 
-// Tuning constants for the blocked GEMM kernel. The B panel of size
-// gemmKC×gemmNC (≤ ~0.9 MB) is packed once per (depth, column) block and
-// shared read-only by all workers; each worker then streams gemmMR rows of
-// A against the packed panel. Thresholds keep small products on the serial
-// path where parallel dispatch would cost more than it saves.
+// Tuning constants for the blocked GEMM kernel (see pack.go for the panel
+// layout and DESIGN.md §4b for how to re-tune them with -cpuprofile). A
+// whole jc-slice of B — up to gemmKCC×gemmNC elements (8 MiB) — is packed
+// once and shared read-only by all workers, so workers are dispatched once
+// per (jc, kcc) block instead of once per gemmKC panel; each worker packs
+// its own A micro-panels and walks the depth blocks privately, with no
+// barrier between them. Thresholds keep small products on the serial path
+// where packing and dispatch would cost more than they save.
 const (
 	// gemmParallelThreshold is the number of multiply-adds below which a
 	// product runs single-threaded on the plain ikj kernel.
-	gemmParallelThreshold = 1 << 16
-	gemmKC                = 240 // depth of a packed B panel
-	gemmNC                = 512 // width of a packed B panel
-	gemmMR                = 4   // A rows per register-blocked micro-kernel step
-	gemmRowGrain          = 16  // A rows per ParallelFor chunk (multiple of gemmMR)
+	gemmParallelThreshold = 1 << 15
+	gemmKC                = 256  // depth of one packed-panel pass (A/B micro-panels 8 KiB each)
+	gemmNC                = 512  // width of the shared packed-B slice
+	gemmKCC               = 2048 // depth cap of the shared packed-B slice (bounds pack memory)
+	gemmRowGrain          = 16   // A rows per ParallelFor chunk (multiple of gemmMR)
+	gemmPanelGrain        = 16   // B column panels per chunk when splitting columns instead
 )
 
 // Mul returns a·b.
@@ -26,7 +30,7 @@ func Mul(a, b *Dense) *Dense {
 		panic("mat: Mul inner dimension mismatch")
 	}
 	out := NewDense(a.Rows, b.Cols)
-	gemmInto(out, a, b, 1, true)
+	gemmInto(out, a, b, 1, false)
 	return out
 }
 
@@ -57,52 +61,121 @@ func MulInto(dst, a, b *Dense) {
 	gemmInto(dst, a, b, 1, false)
 }
 
-// gemmInto computes dst = (dst +) alpha·a·b. When accumulate is false dst
-// is zeroed first. alpha is folded into the packed B panel (or the A
+// gemmInto computes dst = (dst +) alpha·a·b. When accumulate is false the
+// packed path overwrites dst directly (no pre-zero pass); the serial path
+// zeroes it first. alpha is folded into the packed B panel (or the A
 // element on the serial path), which is exact for alpha = ±1 — the only
 // values the library uses. Per output element the k-summation order is
 // ascending on every path, so serial and parallel results are bitwise
 // identical.
 func gemmInto(dst, a, b *Dense, alpha float64, accumulate bool) {
-	if !accumulate {
-		dst.Zero()
-	}
 	m, kk, n := a.Rows, a.Cols, b.Cols
 	if m == 0 || n == 0 || kk == 0 || alpha == 0 {
+		if !accumulate {
+			dst.Zero()
+		}
 		return
 	}
 	// The packed path is used above the threshold even single-threaded:
-	// panel packing plus the 4-row micro-kernel beats the plain ikj loop
-	// regardless of parallelism, and ParallelFor degrades to an inline
-	// call at GOMAXPROCS=1.
+	// panel packing plus the register micro-kernel beats the plain ikj
+	// loop regardless of parallelism, and ParallelFor degrades to an
+	// inline call at GOMAXPROCS=1.
 	if m*kk*n < gemmParallelThreshold {
+		if !accumulate {
+			dst.Zero()
+		}
 		gemmSerial(dst, a, b, alpha, 0, m)
 		return
 	}
-	bufp := GetScratch(min(kk, gemmKC) * min(n, gemmNC))
+	gemmPackedDriver(dst, a, m, kk, n, accumulate,
+		func(buf []float64, pcc, kcc, jc, nc int) {
+			packBPanels(buf, b, pcc, kcc, jc, nc, alpha)
+		})
+}
+
+// gemmPackedDriver runs the packed multiply dst = (dst +) a·P where P is
+// whatever kk×n operand the pack callback lays into panels (alpha·B for
+// GEMM, bᵀ for MulBT). For each (jc, kcc) block it packs the shared B
+// slice once — the pack parallelizes internally — then dispatches the
+// worker pool a single time; each worker packs its own A micro-panels and
+// walks every gemmKC depth block of the slice without further barriers.
+// When m is too short to split usefully, the output columns are split
+// across panels instead (disjoint writes, so still bitwise deterministic);
+// the split choice depends only on the shape, never on GOMAXPROCS.
+func gemmPackedDriver(dst, a *Dense, m, kk, n int, accumulate bool,
+	pack func(buf []float64, pcc, kcc, jc, nc int)) {
+	ncMax := min(n, gemmNC)
+	kccMax := min(kk, gemmKCC)
+	npanMax := (ncMax + gemmNR - 1) / gemmNR
+	bufp := GetScratch(npanMax * gemmNR * kccMax)
 	defer PutScratch(bufp)
 	buf := *bufp
 	for jc := 0; jc < n; jc += gemmNC {
 		nc := min(gemmNC, n-jc)
-		for pc := 0; pc < kk; pc += gemmKC {
-			kc := min(gemmKC, kk-pc)
-			// Pack alpha·B[pc:pc+kc, jc:jc+nc] row-major into buf.
-			for k := 0; k < kc; k++ {
-				src := b.Row(pc + k)[jc : jc+nc]
-				pk := buf[k*nc : k*nc+nc]
-				if alpha == 1 {
-					copy(pk, src)
-				} else {
-					for j, v := range src {
-						pk[j] = alpha * v
-					}
-				}
+		npan := (nc + gemmNR - 1) / gemmNR
+		for pcc := 0; pcc < kk; pcc += gemmKCC {
+			kcc := min(gemmKCC, kk-pcc)
+			pack(buf[:npan*gemmNR*kcc], pcc, kcc, jc, nc)
+			ow := !accumulate && pcc == 0
+			switch {
+			case m >= 2*gemmRowGrain:
+				ParallelFor(m, gemmRowGrain, func(lo, hi int) {
+					gemmBlock(dst, a, buf, jc, nc, pcc, kcc, lo, hi, 0, npan, ow)
+				})
+			case npan >= 2*gemmPanelGrain:
+				ParallelFor(npan, gemmPanelGrain, func(lo, hi int) {
+					gemmBlock(dst, a, buf, jc, nc, pcc, kcc, 0, m, lo, hi, ow)
+				})
+			default:
+				gemmBlock(dst, a, buf, jc, nc, pcc, kcc, 0, m, 0, npan, ow)
 			}
-			ParallelFor(m, gemmRowGrain, func(lo, hi int) {
-				gemmPacked(dst, a, buf, jc, pc, kc, nc, lo, hi)
-			})
 		}
 	}
+}
+
+// gemmBlock computes dst rows [i0, i1) × packed column panels [jp0, jp1)
+// of the current (jc, kcc) block: it packs the A rows it owns into
+// micro-panels, then walks the gemmKC depth blocks in ascending order,
+// running the register micro-kernel per tile (the edge kernel on ragged
+// tiles). ow overwrites the destination on the first depth block of a
+// non-accumulating product.
+func gemmBlock(dst, a *Dense, buf []float64, jc, nc, pcc, kcc, i0, i1, jp0, jp1 int, ow bool) {
+	rows := i1 - i0
+	np := (rows + gemmMR - 1) / gemmMR
+	apb := GetScratch(np * gemmMR * min(kcc, gemmKC))
+	ap := *apb
+	for k0 := 0; k0 < kcc; k0 += gemmKC {
+		kc := min(gemmKC, kcc-k0)
+		packAPanels(ap, a, i0, rows, pcc+k0, kc)
+		owk := ow && k0 == 0
+		for ip := 0; ip < rows; ip += gemmMR {
+			mr := min(gemmMR, rows-ip)
+			apan := ap[(ip/gemmMR)*kc*gemmMR:][:kc*gemmMR]
+			i := i0 + ip
+			if mr == gemmMR {
+				d0 := dst.Row(i)[jc : jc+nc]
+				d1 := dst.Row(i + 1)[jc : jc+nc]
+				d2 := dst.Row(i + 2)[jc : jc+nc]
+				d3 := dst.Row(i + 3)[jc : jc+nc]
+				for jp := jp0; jp < jp1; jp++ {
+					bpan := buf[jp*kcc*gemmNR+k0*gemmNR:][:kc*gemmNR]
+					j0 := jp * gemmNR
+					if nc-j0 >= gemmNR {
+						kernMicro(kc, apan, bpan, d0[j0:], d1[j0:], d2[j0:], d3[j0:], owk)
+					} else {
+						kernEdge(kc, gemmMR, nc-j0, apan, bpan, dst, i, jc+j0, owk)
+					}
+				}
+			} else {
+				for jp := jp0; jp < jp1; jp++ {
+					bpan := buf[jp*kcc*gemmNR+k0*gemmNR:][:kc*gemmNR]
+					j0 := jp * gemmNR
+					kernEdge(kc, mr, min(gemmNR, nc-j0), apan, bpan, dst, i, jc+j0, owk)
+				}
+			}
+		}
+	}
+	PutScratch(apb)
 }
 
 // gemmSerial computes rows [lo, hi) of dst += alpha·a·b with the plain ikj
@@ -117,50 +190,6 @@ func gemmSerial(dst, a, b *Dense, alpha float64, lo, hi int) {
 			}
 			av *= alpha
 			brow := b.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
-}
-
-// gemmPacked computes rows [lo, hi) of dst[:, jc:jc+nc] += A[:, pc:pc+kc] ·
-// panel, where panel is the packed kc×nc block of alpha·B. Four rows of A
-// are processed per pass so each packed B row is loaded once per four
-// output rows.
-func gemmPacked(dst, a *Dense, buf []float64, jc, pc, kc, nc, lo, hi int) {
-	i := lo
-	for ; i+gemmMR <= hi; i += gemmMR {
-		d0 := dst.Row(i)[jc : jc+nc]
-		d1 := dst.Row(i + 1)[jc : jc+nc]
-		d2 := dst.Row(i + 2)[jc : jc+nc]
-		d3 := dst.Row(i + 3)[jc : jc+nc]
-		a0 := a.Row(i)[pc : pc+kc]
-		a1 := a.Row(i + 1)[pc : pc+kc]
-		a2 := a.Row(i + 2)[pc : pc+kc]
-		a3 := a.Row(i + 3)[pc : pc+kc]
-		for k := 0; k < kc; k++ {
-			v0, v1, v2, v3 := a0[k], a1[k], a2[k], a3[k]
-			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
-				continue
-			}
-			brow := buf[k*nc : k*nc+nc]
-			for j, bv := range brow {
-				d0[j] += v0 * bv
-				d1[j] += v1 * bv
-				d2[j] += v2 * bv
-				d3[j] += v3 * bv
-			}
-		}
-	}
-	for ; i < hi; i++ {
-		drow := dst.Row(i)[jc : jc+nc]
-		arow := a.Row(i)[pc : pc+kc]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := buf[k*nc : k*nc+nc]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
@@ -228,26 +257,29 @@ func mulTCols(out, a, b *Dense, lo, hi int) {
 	}
 }
 
-// mulBTRowGrain is the number of output rows per MulBT chunk.
-const mulBTRowGrain = 8
-
-// MulBT returns a·bᵀ without forming the transpose explicitly. The
-// parallel path splits the rows of a; each output row is written by one
-// worker with the serial dot-product order, so results are bitwise
-// identical to the serial path.
+// MulBT returns a·bᵀ without forming the transpose explicitly. Above the
+// work threshold it runs on the same packed-panel machinery as GEMM — the
+// transpose happens on the pack (packBTPanels), so the micro-kernel and
+// its tiling quality are shared with Mul. Every output element is a dot
+// product accumulated in ascending k order on both paths, so results are
+// bitwise identical across paths and across GOMAXPROCS.
 func MulBT(a, b *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic("mat: MulBT dimension mismatch")
 	}
 	out := NewDense(a.Rows, b.Rows)
-	work := a.Rows * a.Cols * b.Rows
-	if work < gemmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+	m, kk, n := a.Rows, a.Cols, b.Rows
+	if m == 0 || n == 0 || kk == 0 {
+		return out
+	}
+	if m*kk*n < gemmParallelThreshold {
 		mulBTRows(out, a, b, 0, a.Rows)
 		return out
 	}
-	ParallelFor(a.Rows, mulBTRowGrain, func(lo, hi int) {
-		mulBTRows(out, a, b, lo, hi)
-	})
+	gemmPackedDriver(out, a, m, kk, n, false,
+		func(buf []float64, pcc, kcc, jc, nc int) {
+			packBTPanels(buf, b, pcc, kcc, jc, nc)
+		})
 	return out
 }
 
@@ -256,10 +288,10 @@ func MulBT(a, b *Dense) *Dense {
 // instead of streaming all of b once per output row.
 const mulBTTile = 64
 
-// mulBTRows computes rows [lo, hi) of out = a·bᵀ, tiled over rows of b
-// with four independent dot products per pass. Each output element is a
-// single dot product in ascending k order, so tiling and unrolling do
-// not change any summation order.
+// mulBTRows computes rows [lo, hi) of out = a·bᵀ — the small-product
+// serial path — tiled over rows of b with four independent dot products
+// per pass. Each output element is a single dot product in ascending k
+// order, so tiling and unrolling do not change any summation order.
 func mulBTRows(out, a, b *Dense, lo, hi int) {
 	for jt := 0; jt < b.Rows; jt += mulBTTile {
 		jEnd := min(jt+mulBTTile, b.Rows)

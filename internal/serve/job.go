@@ -57,6 +57,11 @@ type Job struct {
 	err        error
 
 	done chan struct{}
+
+	// batch is set only on a carrier job: the member jobs a worker
+	// executes as one kernel-pool submission (see Scheduler.SubmitBatch).
+	// Carriers never appear in the id or singleflight maps.
+	batch []*Job
 }
 
 func newJob(id string, spec *Spec, now time.Time, deadline time.Time) *Job {

@@ -23,6 +23,10 @@ type Metrics struct {
 	rejections   uint64 // queue-full 429s
 	drainRejects uint64 // draining 503s
 
+	batchesEnqueued uint64 // carrier jobs admitted by SubmitBatch
+	batchesRun      uint64 // carrier jobs executed by a worker
+	batchMembers    uint64 // member jobs solved inside a batch
+
 	jobsTotal map[Status]uint64
 	solves    map[string]uint64 // by method
 	httpCodes map[int]uint64
@@ -74,6 +78,22 @@ func (m *Metrics) CacheMiss()       { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock(
 // Rejected records a queue-full 429; DrainRejected a draining 503.
 func (m *Metrics) Rejected()      { m.mu.Lock(); m.rejections++; m.mu.Unlock() }
 func (m *Metrics) DrainRejected() { m.mu.Lock(); m.drainRejects++; m.mu.Unlock() }
+
+// BatchEnqueued records a carrier job admitted by SubmitBatch;
+// BatchExecuted records a worker running n members as one kernel-pool
+// submission.
+func (m *Metrics) BatchEnqueued() {
+	m.mu.Lock()
+	m.batchesEnqueued++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) BatchExecuted(n int) {
+	m.mu.Lock()
+	m.batchesRun++
+	m.batchMembers += uint64(n)
+	m.mu.Unlock()
+}
 
 // JobFinished records a job reaching a terminal status.
 func (m *Metrics) JobFinished(s Status) {
@@ -166,6 +186,9 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
 	gauge("lowrankd_cache_entries", "Resident cache entries.", float64(g.CacheEntries))
 	gauge("lowrankd_cache_bytes", "Estimated resident cache bytes.", float64(g.CacheBytes))
 	gauge("lowrankd_cache_budget_bytes", "Cache byte budget.", float64(g.CacheBudget))
+	counter("lowrankd_batches_total", "Batch carrier jobs admitted.", m.batchesEnqueued)
+	counter("lowrankd_batches_run_total", "Batch carrier jobs executed.", m.batchesRun)
+	counter("lowrankd_batch_jobs_total", "Member jobs solved inside a batch.", m.batchMembers)
 	counter("lowrankd_queue_rejections_total", "Submissions rejected with 429 (queue full).", m.rejections)
 	counter("lowrankd_drain_rejections_total", "Submissions rejected with 503 (draining).", m.drainRejects)
 	gauge("lowrankd_resume_stores", "Retained checkpoint stores awaiting resume.", float64(g.ResumeStores))

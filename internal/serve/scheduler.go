@@ -9,6 +9,7 @@ import (
 
 	"sparselr/internal/core"
 	"sparselr/internal/dist"
+	"sparselr/internal/mat"
 )
 
 // Submission errors the HTTP layer maps to distinct status codes.
@@ -221,6 +222,126 @@ func (s *Scheduler) Submit(spec *Spec) (*Job, Outcome, error) {
 	return j, Enqueued, nil
 }
 
+// SubmitBatch admits many specs at once, all-or-nothing. Admission per
+// member mirrors Submit — result cache first, then singleflight (joins
+// work across the batch too: duplicate keys within one batch share a
+// job) — but members that need a fresh solve and are Spec.BatchEligible
+// are grouped onto a single carrier job that a worker executes as one
+// kernel-pool submission (mat.BatchRun), so N concurrent small solves
+// cost one dispatch instead of N. Fresh members that are not eligible
+// are enqueued individually, exactly as Submit would.
+//
+// If the fresh members do not all fit the queue the whole batch is
+// rejected with ErrQueueFull and nothing is admitted; a draining
+// scheduler rejects any batch that needs fresh work with ErrDraining.
+func (s *Scheduler) SubmitBatch(specs []*Spec) ([]*Job, []Outcome, error) {
+	if len(specs) == 0 {
+		return nil, nil, errors.New("serve: empty batch")
+	}
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Plan pass: classify every member without mutating scheduler state,
+	// so rejection leaves no trace.
+	const (
+		planCache = iota
+		planJoin
+		planLocalDup
+		planFreshBatch
+		planFreshSolo
+	)
+	kinds := make([]int, len(specs))
+	aps := make([]*core.Approximation, len(specs))
+	flights := make([]*Job, len(specs))
+	dups := make([]int, len(specs))
+	keys := make([]string, len(specs))
+	firstByKey := map[string]int{}
+	slotsNeeded, batchFresh := 0, 0
+	for i, spec := range specs {
+		keys[i] = spec.Key()
+		if s.cfg.Cache != nil {
+			if ap, ok := s.cfg.Cache.Get(keys[i]); ok {
+				kinds[i], aps[i] = planCache, ap
+				continue
+			}
+		}
+		if flight, ok := s.inflight[keys[i]]; ok {
+			kinds[i], flights[i] = planJoin, flight
+			continue
+		}
+		if first, ok := firstByKey[keys[i]]; ok {
+			kinds[i], dups[i] = planLocalDup, first
+			continue
+		}
+		firstByKey[keys[i]] = i
+		if spec.BatchEligible() {
+			kinds[i] = planFreshBatch
+			batchFresh++
+		} else {
+			kinds[i] = planFreshSolo
+			slotsNeeded++
+		}
+	}
+	if batchFresh > 0 {
+		slotsNeeded++ // the carrier
+	}
+	if slotsNeeded > 0 {
+		if s.draining {
+			s.metrics.DrainRejected()
+			return nil, nil, ErrDraining
+		}
+		// Producers serialize on s.mu and workers only free slots, so
+		// this capacity check cannot race with another submitter.
+		if free := cap(s.queue) - len(s.queue); free < slotsNeeded {
+			s.metrics.Rejected()
+			return nil, nil, ErrQueueFull
+		}
+	}
+
+	// Commit pass: every enqueue below is guaranteed to succeed.
+	jobs := make([]*Job, len(specs))
+	outcomes := make([]Outcome, len(specs))
+	var members []*Job
+	for i, spec := range specs {
+		switch kinds[i] {
+		case planCache:
+			j := newJob(nextJobID(), spec, now, time.Time{})
+			j.cached = true
+			j.status = StatusDone
+			j.ap = aps[i]
+			j.finishedAt = now
+			close(j.done)
+			s.rememberLocked(j)
+			s.metrics.CacheHit()
+			jobs[i], outcomes[i] = j, CacheHit
+		case planJoin:
+			s.metrics.SingleflightHit()
+			jobs[i], outcomes[i] = flights[i], Joined
+		case planLocalDup:
+			s.metrics.SingleflightHit()
+			jobs[i], outcomes[i] = jobs[dups[i]], Joined
+		default:
+			j := newJob(nextJobID(), spec, now, spec.Deadline(now, s.cfg.Deadline))
+			s.inflight[keys[i]] = j
+			s.rememberLocked(j)
+			s.metrics.CacheMiss()
+			jobs[i], outcomes[i] = j, Enqueued
+			if kinds[i] == planFreshBatch {
+				members = append(members, j)
+			} else {
+				s.queue <- j
+			}
+		}
+	}
+	if len(members) > 0 {
+		s.queue <- &Job{batch: members}
+		s.metrics.BatchEnqueued()
+	}
+	return jobs, outcomes, nil
+}
+
 // rememberLocked indexes a job by id, trimming the oldest terminal
 // jobs past jobHistory. Caller holds s.mu.
 func (s *Scheduler) rememberLocked(j *Job) {
@@ -272,59 +393,121 @@ func (s *Scheduler) clearFlight(j *Job) {
 	s.mu.Unlock()
 }
 
-// worker drains the queue: skip canceled/expired jobs, solve the rest,
-// publish results to the cache, and settle waiters.
+// worker drains the queue: carrier jobs fan out over the kernel pool,
+// everything else solves inline on this worker.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		now := time.Now()
-		if !j.Deadline.IsZero() && now.After(j.Deadline) {
-			if j.cancel(StatusExpired, fmt.Errorf("serve: job %s deadline exceeded while queued", j.ID), now) {
-				s.metrics.JobFinished(StatusExpired)
-			}
-			s.clearFlight(j)
+		if len(j.batch) > 0 {
+			s.runBatch(j.batch)
 			continue
 		}
-		if !j.markRunning(now) {
-			// Canceled (or raced to expiry) while queued; cancel already
-			// settled status, waiters and metrics.
-			s.clearFlight(j)
-			continue
-		}
-		s.mu.Lock()
-		s.running++
-		s.mu.Unlock()
-
-		var store *dist.CheckpointStore
-		if s.cfg.Resume != nil && j.Spec.Checkpointed() {
-			store = s.cfg.Resume.Acquire(j.Key)
-		}
-		start := time.Now()
-		ap, err := s.cfg.Solve(j.Spec, store)
-		wall := time.Since(start)
-
-		if err == nil {
-			if s.cfg.Cache != nil {
-				s.cfg.Cache.Put(j.Key, ap)
-			}
-			if s.cfg.Resume != nil && store != nil {
-				s.cfg.Resume.Release(j.Key)
-			}
-			s.metrics.SolveDone(j.Spec.Method, wall, apVirtualTime(ap))
-			j.finish(StatusDone, ap, nil, time.Now())
-			s.metrics.JobFinished(StatusDone)
-		} else {
-			// Keep the checkpoint store: a resubmission resumes from the
-			// newest complete snapshot.
-			j.finish(StatusFailed, nil, err, time.Now())
-			s.metrics.JobFinished(StatusFailed)
-		}
-
-		s.mu.Lock()
-		s.running--
-		s.mu.Unlock()
-		s.clearFlight(j)
+		s.runOne(j)
 	}
+}
+
+// startable applies the queued-job prologue — deadline expiry, then the
+// queued → running transition — reporting whether the job should solve.
+// Jobs that do not start have already settled their status, waiters and
+// metrics.
+func (s *Scheduler) startable(j *Job, now time.Time) bool {
+	if !j.Deadline.IsZero() && now.After(j.Deadline) {
+		if j.cancel(StatusExpired, fmt.Errorf("serve: job %s deadline exceeded while queued", j.ID), now) {
+			s.metrics.JobFinished(StatusExpired)
+		}
+		s.clearFlight(j)
+		return false
+	}
+	if !j.markRunning(now) {
+		// Canceled (or raced to expiry) while queued; cancel already
+		// settled status, waiters and metrics.
+		s.clearFlight(j)
+		return false
+	}
+	return true
+}
+
+// settle publishes one finished solve: cache, metrics, terminal status,
+// waiters, singleflight. A nil err is success.
+func (s *Scheduler) settle(j *Job, ap *core.Approximation, err error, wall time.Duration, store *dist.CheckpointStore) {
+	if err == nil {
+		if s.cfg.Cache != nil {
+			s.cfg.Cache.Put(j.Key, ap)
+		}
+		if s.cfg.Resume != nil && store != nil {
+			s.cfg.Resume.Release(j.Key)
+		}
+		s.metrics.SolveDone(j.Spec.Method, wall, apVirtualTime(ap))
+		j.finish(StatusDone, ap, nil, time.Now())
+		s.metrics.JobFinished(StatusDone)
+	} else {
+		// Keep the checkpoint store: a resubmission resumes from the
+		// newest complete snapshot.
+		j.finish(StatusFailed, nil, err, time.Now())
+		s.metrics.JobFinished(StatusFailed)
+	}
+	s.clearFlight(j)
+}
+
+// runOne solves a single job on the calling worker.
+func (s *Scheduler) runOne(j *Job) {
+	if !s.startable(j, time.Now()) {
+		return
+	}
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+
+	var store *dist.CheckpointStore
+	if s.cfg.Resume != nil && j.Spec.Checkpointed() {
+		store = s.cfg.Resume.Acquire(j.Key)
+	}
+	start := time.Now()
+	ap, err := s.cfg.Solve(j.Spec, store)
+	wall := time.Since(start)
+	s.settle(j, ap, err, wall, store)
+
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+}
+
+// runBatch solves the still-startable members of a carrier as one
+// kernel-pool submission: the batch is the parallel dimension, so many
+// sub-threshold solves share one dispatch instead of thrashing the
+// kernels' serial thresholds one job at a time. Members are
+// BatchEligible by construction (Procs ≤ 1), so none is checkpointed.
+func (s *Scheduler) runBatch(members []*Job) {
+	now := time.Now()
+	run := make([]*Job, 0, len(members))
+	for _, j := range members {
+		if s.startable(j, now) {
+			run = append(run, j)
+		}
+	}
+	if len(run) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.running += len(run)
+	s.mu.Unlock()
+	s.metrics.BatchExecuted(len(run))
+
+	aps := make([]*core.Approximation, len(run))
+	errs := make([]error, len(run))
+	walls := make([]time.Duration, len(run))
+	mat.BatchRun(len(run), func(i int) {
+		start := time.Now()
+		aps[i], errs[i] = s.cfg.Solve(run[i].Spec, nil)
+		walls[i] = time.Since(start)
+	})
+	for i, j := range run {
+		s.settle(j, aps[i], errs[i], walls[i], nil)
+	}
+
+	s.mu.Lock()
+	s.running -= len(run)
+	s.mu.Unlock()
 }
 
 func apVirtualTime(ap *core.Approximation) float64 {

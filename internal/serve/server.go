@@ -37,6 +37,8 @@ type Config struct {
 // Server wires the scheduler, cache and metrics behind the HTTP API:
 //
 //	POST   /v1/jobs                submit (JSON spec or MatrixMarket body)
+//	POST   /v1/batch               submit many specs at once; small ones
+//	                               solve as one kernel-pool submission
 //	GET    /v1/jobs/{id}           status (?wait=dur blocks)
 //	DELETE /v1/jobs/{id}           cancel a queued job
 //	GET    /v1/jobs/{id}/result    result summary (solver errors get
@@ -95,6 +97,7 @@ func NewServer(cfg Config) *Server {
 	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -173,6 +176,89 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = terminalCode(v)
 	}
 	writeJSON(w, code, submitResponse{View: v, Outcome: outcome})
+}
+
+// maxBatchJobs bounds the member count of one POST /v1/batch request.
+const maxBatchJobs = 256
+
+// batchRequest is the POST /v1/batch payload.
+type batchRequest struct {
+	Jobs []*Spec `json:"jobs"`
+}
+
+// batchResponse mirrors the request: one submitResponse per member, in
+// order.
+type batchResponse struct {
+	Jobs []submitResponse `json:"jobs"`
+}
+
+// handleBatch admits many specs in one request. Small non-distributed
+// members are executed by the scheduler as one kernel-pool submission
+// (see Scheduler.SubmitBatch); admission is all-or-nothing, so a full
+// queue rejects the whole batch with 429 and a draining scheduler with
+// 503. ?wait=dur blocks until every member is terminal or the duration
+// expires.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading body: %v", err))
+		return
+	}
+	if int64(len(body)) > s.maxBody {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: request body exceeds %d bytes", s.maxBody))
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad batch request: %v", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: batch needs at least one job"))
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: batch of %d jobs exceeds the %d-job limit", len(req.Jobs), maxBatchJobs))
+		return
+	}
+	for i, spec := range req.Jobs {
+		if err := spec.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: job %d: %w", i, err))
+			return
+		}
+	}
+	jobs, outcomes, err := s.sched.SubmitBatch(req.Jobs)
+	switch {
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait != "" {
+		d, perr := time.ParseDuration(wait)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad wait duration %q: %v", wait, perr))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		for _, job := range jobs {
+			if job.Wait(ctx) == context.DeadlineExceeded {
+				break
+			}
+		}
+		cancel()
+	}
+	resp := batchResponse{Jobs: make([]submitResponse, len(jobs))}
+	for i, job := range jobs {
+		resp.Jobs[i] = submitResponse{View: job.view(), Outcome: outcomes[i]}
+	}
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 // parseSubmit accepts either an application/json Spec or a raw

@@ -166,6 +166,26 @@ func (s *Spec) CoreOptions() core.Options {
 	}
 }
 
+// batchEligibleMMBytes bounds the MatrixMarket body size of a
+// batch-eligible upload: larger inputs are big enough to keep the
+// kernel pool busy on their own.
+const batchEligibleMMBytes = 256 << 10
+
+// BatchEligible reports whether the job is small enough that running
+// it inside a batched pool submission beats a dedicated solve: a
+// non-distributed run on either a small-scale generator workload or a
+// modest MatrixMarket upload. Larger problems parallelize internally,
+// so batching them would only serialize their kernels.
+func (s *Spec) BatchEligible() bool {
+	if s.Procs > 1 {
+		return false
+	}
+	if s.Generator != "" {
+		return s.scale == gen.Small
+	}
+	return len(s.MatrixMarket) <= batchEligibleMMBytes
+}
+
 // Deadline resolves the job deadline against the server default (0 =
 // no deadline).
 func (s *Spec) Deadline(now time.Time, def time.Duration) time.Time {

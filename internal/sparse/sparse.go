@@ -282,6 +282,10 @@ func (a *CSR) mulTDenseBody(out, b *mat.Dense) {
 	nchunks := (a.Rows + grain - 1) / grain
 	partials := make([]*mat.Dense, nchunks)
 	mat.ParallelFor(a.Rows, grain, func(lo, hi int) {
+		// The zeroing GetDense variant is load-bearing here: the chunk
+		// scatter-accumulates into arbitrary rows of p, so the partial
+		// must start from zero (GetDenseNoZero would leak stale pool
+		// contents into the sum).
 		p := mat.GetDense(a.Cols, b.Cols)
 		a.mulTDenseRows(p, b, lo, hi)
 		partials[lo/grain] = p

@@ -86,10 +86,10 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
         | grep -E '^(=== RUN|--- |ok|FAIL|    smoke)'
     echo "wrote BENCH_serve.json"
 
-    echo "== kernel micro-benchmarks"
+    echo "== kernel micro-benchmarks (with parallel-vs-serial speedup gates)"
     out=$(go test -run '^$' -bench '^BenchmarkKernel' -benchtime "${BENCHTIME:-200ms}" . ./internal/mat | grep -E '^Benchmark')
     echo "$out"
-    echo "$out" | awk '
+    echo "$out" | awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
         BEGIN { print "{"; first = 1 }
         /^Benchmark/ {
             name = $1
@@ -98,8 +98,53 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
             if (!first) printf ",\n"
             first = 0
             printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s}", name, $2, $3
+            ns[name] = $3
         }
-        END { print "\n}" }
+        END {
+            # Parallel-vs-serial speedup ratios (serial ns / parallel ns;
+            # > 1 means the worker pool wins) plus the MulBT:MulT cost
+            # ratio on the comparable 2048*128*128-madd shape.
+            printf ",\n  \"_speedups\": {"
+            sep = ""
+            if (ns["KernelGEMM512Serial"] > 0 && ns["KernelGEMM512"] > 0) {
+                printf "%s\"gemm512_parallel\": %.3f", sep, ns["KernelGEMM512Serial"] / ns["KernelGEMM512"]; sep = ", "
+            }
+            if (ns["KernelGEMMOddSerial"] > 0 && ns["KernelGEMMOdd"] > 0) {
+                printf "%s\"gemm_odd_parallel\": %.3f", sep, ns["KernelGEMMOddSerial"] / ns["KernelGEMMOdd"]; sep = ", "
+            }
+            if (ns["KernelMulTSerial"] > 0 && ns["KernelMulT"] > 0) {
+                printf "%s\"mult_parallel\": %.3f", sep, ns["KernelMulTSerial"] / ns["KernelMulT"]; sep = ", "
+            }
+            if (ns["KernelMulBTSerial"] > 0 && ns["KernelMulBT"] > 0) {
+                printf "%s\"mulbt_parallel\": %.3f", sep, ns["KernelMulBTSerial"] / ns["KernelMulBT"]; sep = ", "
+            }
+            if (ns["KernelMulT"] > 0 && ns["KernelMulBT"] > 0) {
+                printf "%s\"mulbt_over_mult\": %.3f", sep, ns["KernelMulBT"] / ns["KernelMulT"]; sep = ", "
+            }
+            printf "}\n}\n"
+            # Gate 1: MulBT must stay within 2x of MulT on the comparable
+            # shape (it was ~6x before the packed-Bt path).
+            if (ns["KernelMulT"] == "" || ns["KernelMulBT"] == "") {
+                print "missing KernelMulT/KernelMulBT benchmarks" > "/dev/stderr"; exit 1
+            }
+            if (ns["KernelMulBT"] > 2 * ns["KernelMulT"]) {
+                printf "KernelMulBT (%s ns/op) exceeds 2x KernelMulT (%s ns/op)\n", ns["KernelMulBT"], ns["KernelMulT"] > "/dev/stderr"
+                exit 1
+            }
+            # Gate 2: parallel GEMM must beat the pinned-GOMAXPROCS=1 run
+            # by >= 1.3x at 512^3. Needs real cores; skipped below 4 CPUs.
+            if (ncpu + 0 < 4) {
+                printf "note: GEMM512 parallel-speedup gate skipped (%d CPUs < 4)\n", ncpu > "/dev/stderr"
+            } else {
+                if (ns["KernelGEMM512"] == "" || ns["KernelGEMM512Serial"] == "") {
+                    print "missing KernelGEMM512/KernelGEMM512Serial benchmarks" > "/dev/stderr"; exit 1
+                }
+                if (ns["KernelGEMM512"] * 1.3 > ns["KernelGEMM512Serial"]) {
+                    printf "KernelGEMM512 (%s ns/op) not >=1.3x faster than serial (%s ns/op)\n", ns["KernelGEMM512"], ns["KernelGEMM512Serial"] > "/dev/stderr"
+                    exit 1
+                }
+            }
+        }
     ' > BENCH_kernels.json
     echo "wrote BENCH_kernels.json"
 
