@@ -1,0 +1,101 @@
+// Command lowrank-gateway fronts a fleet of lowrankd shards with a
+// consistent-hash router: each submission's content-addressed spec key
+// picks the owning shard, so identical requests from any client land
+// on the same daemon and dedupe in its cache, while distinct keys
+// spread across the fleet.
+//
+//	lowrankd -addr 127.0.0.1:9001 -cachedir /var/cache/lr1 &
+//	lowrankd -addr 127.0.0.1:9002 -cachedir /var/cache/lr2 &
+//	lowrank-gateway -addr 127.0.0.1:8370 \
+//	    -backends http://127.0.0.1:9001,http://127.0.0.1:9002
+//
+// Clients speak the exact lowrankd API to the gateway — submit, batch,
+// status, result, factors, cancel, ?wait — and never see the topology.
+// The gateway probes each backend's /healthz, evicts a shard from the
+// ring after consecutive failures (its keys reroute to the survivors),
+// readmits it on recovery, spills 429/503 backpressure over to the
+// next shard, and exposes its own routing counters on /metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sparselr/internal/fleet"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8370", "listen address (port 0 picks a free port)")
+		backends      = flag.String("backends", "", "comma-separated lowrankd base URLs (required)")
+		replicas      = flag.Int("replicas", fleet.DefaultReplicas, "virtual nodes per backend on the hash ring")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health-probe period per backend")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "health-probe request timeout")
+		failThreshold = flag.Int("fail-threshold", 2, "consecutive failures that evict a backend from the ring")
+		maxBody       = flag.Int64("max-body-bytes", 64<<20, "largest accepted request body")
+	)
+	flag.Parse()
+	if *backends == "" {
+		fmt.Fprintln(os.Stderr, "lowrank-gateway: -backends is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	list := strings.Split(*backends, ",")
+	for i := range list {
+		list[i] = strings.TrimRight(strings.TrimSpace(list[i]), "/")
+	}
+
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	gw, err := fleet.NewGateway(fleet.GatewayConfig{
+		Backends: list,
+		Replicas: *replicas,
+		Health: fleet.HealthConfig{
+			Interval:      *probeInterval,
+			Timeout:       *probeTimeout,
+			FailThreshold: *failThreshold,
+			Logf:          logf,
+		},
+		MaxBodyBytes: *maxBody,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowrank-gateway:", err)
+		os.Exit(1)
+	}
+	gw.Start()
+	defer gw.Stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowrank-gateway:", err)
+		os.Exit(1)
+	}
+	// The smoke test and scripts parse this line to find the bound port.
+	fmt.Printf("lowrank-gateway: listening on %s (backends=%d replicas=%d)\n",
+		ln.Addr(), len(list), *replicas)
+
+	hs := &http.Server{Handler: gw}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Printf("lowrank-gateway: %v: shutting down\n", s)
+		hs.Close()
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "lowrank-gateway:", err)
+			os.Exit(1)
+		}
+	}
+}

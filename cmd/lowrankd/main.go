@@ -27,20 +27,29 @@
 // recomputing. SIGTERM/SIGINT drains gracefully: new submissions get
 // 503 while queued and in-flight jobs run to completion (bounded by
 // -drain-timeout).
+//
+// Fleet flags: -cachedir adds a disk-persistent cache tier (a restarted
+// daemon serves its pre-restart keys without re-solving); -peers plus
+// -self enable peer cache fill, where a shard fetches finished factors
+// from the key's ring owner before solving locally (see internal/fleet
+// and cmd/lowrank-gateway).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"sparselr/internal/fleet"
 	"sparselr/internal/serve"
 )
 
@@ -53,6 +62,10 @@ func main() {
 		deadline     = flag.Duration("deadline", 0, "default per-job deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGTERM")
 		maxBody      = flag.Int64("max-body-bytes", 64<<20, "largest accepted upload body")
+		cacheDir     = flag.String("cachedir", "", "disk cache directory (empty = memory only); shares the -cache-bytes budget")
+		peers        = flag.String("peers", "", "comma-separated fleet member base URLs for peer cache fill")
+		self         = flag.String("self", "", "this shard's own base URL within -peers (required with -peers)")
+		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "peer cache-fill fetch timeout")
 	)
 	flag.Parse()
 	if *workers <= 0 || *queueDepth <= 0 || *maxBody <= 0 {
@@ -65,12 +78,46 @@ func main() {
 	if budget <= 0 {
 		budget = -1 // serve.Config: negative disables the cache
 	}
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+
+	var disk *serve.DiskCache
+	if *cacheDir != "" {
+		diskBudget := budget
+		if diskBudget < 0 {
+			diskBudget = 256 << 20
+		}
+		var err error
+		disk, err = serve.OpenDiskCache(*cacheDir, diskBudget, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lowrankd:", err)
+			os.Exit(1)
+		}
+		st := disk.Stats()
+		fmt.Printf("lowrankd: disk cache %s: %d entries, %dB (dropped %d corrupt)\n",
+			*cacheDir, st.Entries, st.Bytes, st.Dropped)
+	}
+
+	var peerFill serve.PeerFillFunc
+	if *peers != "" {
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "lowrankd: -peers requires -self")
+			os.Exit(2)
+		}
+		list := strings.Split(*peers, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		peerFill = fleet.NewPeerClient(list, *self, *peerTimeout, logf).Fill
+	}
+
 	srv := serve.NewServer(serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
 		CacheBytes:   budget,
 		Deadline:     *deadline,
 		MaxBodyBytes: *maxBody,
+		Disk:         disk,
+		PeerFill:     peerFill,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,14 @@
+// Package arrf implements the Adaptive Randomized Range Finder of Halko,
+// Martinsson and Tropp (Algorithm 4.2), the fixed-precision progenitor
+// the paper's related work (§I-A) builds on: an orthonormal basis Q for
+// the range of A is grown one vector at a time, and the iteration stops
+// when the probabilistic a-posteriori bound
+//
+//	‖(I − QQᵀ)A‖₂ ≤ 10·√(2/π)·max_{i=1..r} ‖(I − QQᵀ)A·ωᵢ‖₂
+//
+// certifies the target accuracy with probability 1 − min(m,n)·10⁻ʳ.
+//
+// RandQB_EI improves on this scheme with blocking and the exact
+// Frobenius indicator; ARRF is provided as the reference point that
+// comparison is made against.
+package arrf

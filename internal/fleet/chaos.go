@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ChaosPlan is a deterministic, seeded schedule of backend faults for
+// fleet tests — the serving-layer analogue of dist.FaultPlan. Two runs
+// with the same seed and fleet shape produce the same kill/restart
+// schedule, so a chaos test that fails replays exactly.
+type ChaosPlan struct {
+	Seed   int64
+	Events []ChaosEvent
+}
+
+// ChaosEvent is one scheduled fault.
+type ChaosEvent struct {
+	// At is the offset from harness start.
+	At time.Duration
+	// Backend is the victim's base URL.
+	Backend string
+	// Kind is "kill" (SIGKILL: dial errors until restart) or
+	// "restart" (bring the backend back; the health checker readmits
+	// it within one probe interval).
+	Kind string
+}
+
+// ChaosConfig shapes a generated plan.
+type ChaosConfig struct {
+	// Backends are the candidate victims.
+	Backends []string
+	// Kills is how many kill events to schedule (each followed by a
+	// restart when Restart is true).
+	Kills int
+	// Window is the time span events are spread over.
+	Window time.Duration
+	// Restart schedules a matching restart for every kill, half a
+	// window later (capped to Window).
+	Restart bool
+}
+
+// NewChaosPlan derives a deterministic plan from a seed. Victims and
+// times come from the seeded generator only, so the plan is a pure
+// function of (seed, config).
+func NewChaosPlan(seed int64, cfg ChaosConfig) *ChaosPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &ChaosPlan{Seed: seed}
+	if len(cfg.Backends) == 0 || cfg.Kills <= 0 || cfg.Window <= 0 {
+		return p
+	}
+	for i := 0; i < cfg.Kills; i++ {
+		victim := cfg.Backends[rng.Intn(len(cfg.Backends))]
+		at := time.Duration(rng.Int63n(int64(cfg.Window)))
+		p.Events = append(p.Events, ChaosEvent{At: at, Backend: victim, Kind: "kill"})
+		if cfg.Restart {
+			back := at + cfg.Window/2
+			if back > cfg.Window {
+				back = cfg.Window
+			}
+			p.Events = append(p.Events, ChaosEvent{At: back, Backend: victim, Kind: "restart"})
+		}
+	}
+	sort.Slice(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p
+}
+
+// Run replays the plan against fault injectors, sleeping real time
+// between events; it returns when the last event has fired. kill and
+// restart receive the victim backend. Tests with fake clocks can walk
+// Events directly instead.
+func (p *ChaosPlan) Run(kill, restart func(backend string)) {
+	start := time.Now()
+	for _, ev := range p.Events {
+		if d := ev.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		switch ev.Kind {
+		case "kill":
+			kill(ev.Backend)
+		case "restart":
+			restart(ev.Backend)
+		}
+	}
+}

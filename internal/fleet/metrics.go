@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is the gateway's counter set, rendered in Prometheus text
+// exposition format by WriteProm. Series are prefixed
+// lowrank_gateway_ to keep them distinct from the per-shard lowrankd_
+// series when both are scraped into one store.
+type Metrics struct {
+	mu sync.Mutex
+
+	requests map[string]uint64 // forwarded requests by backend
+	errors   map[string]uint64 // forwarding failures by backend
+	latency  map[string]*latencyAgg
+
+	reroutes  uint64 // retries on the next ring node after a dial failure
+	spillover uint64 // retries on the next node after a 429/503
+	evictions uint64 // backends removed from the ring
+	readmits  uint64 // backends restored to the ring
+	noBackend uint64 // requests failed with every backend down
+}
+
+type latencyAgg struct {
+	sum   float64 // seconds
+	count uint64
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: map[string]uint64{},
+		errors:   map[string]uint64{},
+		latency:  map[string]*latencyAgg{},
+	}
+}
+
+// Forwarded records one proxied request and its round-trip latency.
+func (m *Metrics) Forwarded(backend string, d time.Duration) {
+	m.mu.Lock()
+	m.requests[backend]++
+	agg := m.latency[backend]
+	if agg == nil {
+		agg = &latencyAgg{}
+		m.latency[backend] = agg
+	}
+	agg.sum += d.Seconds()
+	agg.count++
+	m.mu.Unlock()
+}
+
+// ForwardError records a failed forward attempt to a backend.
+func (m *Metrics) ForwardError(backend string) {
+	m.mu.Lock()
+	m.errors[backend]++
+	m.mu.Unlock()
+}
+
+// Rerouted records a retry on the next ring node after a dial error;
+// Spillover a retry after queue-full/draining backpressure.
+func (m *Metrics) Rerouted()  { m.mu.Lock(); m.reroutes++; m.mu.Unlock() }
+func (m *Metrics) Spillover() { m.mu.Lock(); m.spillover++; m.mu.Unlock() }
+
+// RingChange records an eviction (healthy=false) or readmission.
+func (m *Metrics) RingChange(healthy bool) {
+	m.mu.Lock()
+	if healthy {
+		m.readmits++
+	} else {
+		m.evictions++
+	}
+	m.mu.Unlock()
+}
+
+// NoBackend records a request that exhausted every candidate backend.
+func (m *Metrics) NoBackend() { m.mu.Lock(); m.noBackend++; m.mu.Unlock() }
+
+// Gauges carries the live values sampled at render time.
+type Gauges struct {
+	RingSize int
+	Backends map[string]bool // backend → healthy
+	Routes   int             // tracked job-id routes
+}
+
+// WriteProm renders every series.
+func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP lowrank_gateway_requests_total Requests forwarded, by backend.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_requests_total counter\n")
+	for _, b := range sortedKeys(m.requests) {
+		fmt.Fprintf(w, "lowrank_gateway_requests_total{backend=%q} %d\n", b, m.requests[b])
+	}
+	fmt.Fprintf(w, "# HELP lowrank_gateway_errors_total Forwarding failures, by backend.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_errors_total counter\n")
+	for _, b := range sortedKeys(m.errors) {
+		fmt.Fprintf(w, "lowrank_gateway_errors_total{backend=%q} %d\n", b, m.errors[b])
+	}
+	fmt.Fprintf(w, "# HELP lowrank_gateway_latency_seconds_sum Cumulative forward round-trip seconds, by backend.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_latency_seconds_sum counter\n")
+	lkeys := make([]string, 0, len(m.latency))
+	for b := range m.latency {
+		lkeys = append(lkeys, b)
+	}
+	sort.Strings(lkeys)
+	for _, b := range lkeys {
+		fmt.Fprintf(w, "lowrank_gateway_latency_seconds_sum{backend=%q} %g\n", b, m.latency[b].sum)
+	}
+	fmt.Fprintf(w, "# HELP lowrank_gateway_latency_seconds_count Forward round-trips measured, by backend.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_latency_seconds_count counter\n")
+	for _, b := range lkeys {
+		fmt.Fprintf(w, "lowrank_gateway_latency_seconds_count{backend=%q} %d\n", b, m.latency[b].count)
+	}
+
+	fmt.Fprintf(w, "# HELP lowrank_gateway_reroutes_total Requests retried on the next ring node after a dial failure.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_reroutes_total counter\n")
+	fmt.Fprintf(w, "lowrank_gateway_reroutes_total %d\n", m.reroutes)
+	fmt.Fprintf(w, "# HELP lowrank_gateway_spillover_total Requests retried on the next ring node after 429/503 backpressure.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_spillover_total counter\n")
+	fmt.Fprintf(w, "lowrank_gateway_spillover_total %d\n", m.spillover)
+	fmt.Fprintf(w, "# HELP lowrank_gateway_evictions_total Backends evicted from the ring.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_evictions_total counter\n")
+	fmt.Fprintf(w, "lowrank_gateway_evictions_total %d\n", m.evictions)
+	fmt.Fprintf(w, "# HELP lowrank_gateway_readmissions_total Backends readmitted to the ring.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_readmissions_total counter\n")
+	fmt.Fprintf(w, "lowrank_gateway_readmissions_total %d\n", m.readmits)
+	fmt.Fprintf(w, "# HELP lowrank_gateway_unroutable_total Requests failed with every backend down.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_unroutable_total counter\n")
+	fmt.Fprintf(w, "lowrank_gateway_unroutable_total %d\n", m.noBackend)
+
+	fmt.Fprintf(w, "# HELP lowrank_gateway_ring_size Backends currently in the ring.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_ring_size gauge\n")
+	fmt.Fprintf(w, "lowrank_gateway_ring_size %d\n", g.RingSize)
+	fmt.Fprintf(w, "# HELP lowrank_gateway_backend_healthy Backend health, by backend (1 = in ring).\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_backend_healthy gauge\n")
+	bkeys := make([]string, 0, len(g.Backends))
+	for b := range g.Backends {
+		bkeys = append(bkeys, b)
+	}
+	sort.Strings(bkeys)
+	for _, b := range bkeys {
+		v := 0
+		if g.Backends[b] {
+			v = 1
+		}
+		fmt.Fprintf(w, "lowrank_gateway_backend_healthy{backend=%q} %d\n", b, v)
+	}
+	fmt.Fprintf(w, "# HELP lowrank_gateway_job_routes Tracked job-id to backend routes.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_job_routes gauge\n")
+	fmt.Fprintf(w, "lowrank_gateway_job_routes %d\n", g.Routes)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"sparselr/internal/core"
+	"sparselr/internal/serve"
+)
+
+// PeerClient implements the backend side of peer cache fill: before a
+// shard solves a key it does not own, it asks the key's ring owner for
+// the finished factors. The protocol is a single hop — owner only,
+// never a second peer — and strictly best-effort: any failure (miss,
+// dead owner, timeout, corrupt frame) reports ok=false and the caller
+// solves locally. Because spec keys are content-addressed, a fetched
+// result is bit-identical to what the local solve would produce.
+type PeerClient struct {
+	ring    *Ring
+	self    string // this shard's own base URL; never fetched from
+	timeout time.Duration
+	client  *http.Client
+	logf    func(string, ...interface{})
+}
+
+// NewPeerClient builds a client over the fleet's member list. self is
+// this shard's own advertised base URL (owner == self short-circuits
+// to a miss: the local tiers were already consulted). timeout ≤ 0
+// defaults to 2s — long enough for big factor frames on a LAN, short
+// enough that a dead owner delays the fallback solve imperceptibly.
+func NewPeerClient(peers []string, self string, timeout time.Duration, logf func(string, ...interface{})) *PeerClient {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ring := NewRing(0)
+	for _, p := range peers {
+		ring.Add(p)
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	return &PeerClient{
+		ring:    ring,
+		self:    self,
+		timeout: timeout,
+		client:  &http.Client{},
+		logf:    logf,
+	}
+}
+
+// Fill is the serve.PeerFillFunc: fetch key from its ring owner.
+func (p *PeerClient) Fill(key string) (*core.Approximation, bool) {
+	owner, ok := p.ring.Owner(key)
+	if !ok || owner == p.self {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.logf("fleet: peer fill %s from %s: %v", key[:8], owner, err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	ap, err := serve.DecodeApproximation(resp.Body)
+	if err != nil {
+		p.logf("fleet: peer fill %s from %s: bad frame: %v", key[:8], owner, err)
+		return nil, false
+	}
+	return ap, true
+}
+
+// FillFunc adapts the client to the serve.SchedulerConfig hook.
+func (p *PeerClient) FillFunc() serve.PeerFillFunc { return p.Fill }

@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// specLikeKey makes a 64-hex key the way serve does (SHA-256 hex).
+func specLikeKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("spec-%d", i)))
+	return fmt.Sprintf("%x", sum)
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, r2 := NewRing(0), NewRing(0)
+	for _, b := range backends {
+		r1.Add(b)
+		r2.Add(b)
+	}
+	const n = 4000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		k := specLikeKey(i)
+		o1, ok1 := r1.Owner(k)
+		o2, ok2 := r2.Owner(k)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("owner not deterministic for %s: %q vs %q", k, o1, o2)
+		}
+		counts[o1]++
+	}
+	// With 64 vnodes per backend the split should be within ~2x of even.
+	for _, b := range backends {
+		c := counts[b]
+		if c < n/6 || c > n/2+n/6 {
+			t.Fatalf("unbalanced ring: %v", counts)
+		}
+	}
+}
+
+func TestRingBoundedMovementOnRemove(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(0)
+	for _, b := range backends {
+		r.Add(b)
+	}
+	const n = 4000
+	before := make([]string, n)
+	for i := 0; i < n; i++ {
+		before[i], _ = r.Owner(specLikeKey(i))
+	}
+	victim := "http://c:1"
+	r.Remove(victim)
+	moved := 0
+	for i := 0; i < n; i++ {
+		after, ok := r.Owner(specLikeKey(i))
+		if !ok {
+			t.Fatal("ring empty after one removal")
+		}
+		if after == victim {
+			t.Fatal("removed backend still owns keys")
+		}
+		if before[i] != victim && after != before[i] {
+			t.Fatalf("key %d moved between survivors: %s → %s", i, before[i], after)
+		}
+		if before[i] == victim {
+			moved++
+		}
+	}
+	// The victim owned roughly a quarter of the keyspace.
+	if moved == 0 || moved > n/2 {
+		t.Fatalf("victim owned %d/%d keys", moved, n)
+	}
+	// Readmission restores the exact previous assignment.
+	r.Add(victim)
+	for i := 0; i < n; i++ {
+		if after, _ := r.Owner(specLikeKey(i)); after != before[i] {
+			t.Fatalf("key %d not restored after readmission: %s vs %s", i, after, before[i])
+		}
+	}
+}
+
+func TestRingOwnerSequence(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("x"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for _, b := range backends {
+		r.Add(b)
+	}
+	for i := 0; i < 100; i++ {
+		k := specLikeKey(i)
+		seq := r.OwnerSequence(k, 0)
+		if len(seq) != 3 {
+			t.Fatalf("sequence length %d", len(seq))
+		}
+		owner, _ := r.Owner(k)
+		if seq[0] != owner {
+			t.Fatalf("sequence does not start at the owner: %v vs %s", seq, owner)
+		}
+		seen := map[string]bool{}
+		for _, b := range seq {
+			if seen[b] {
+				t.Fatalf("duplicate backend in sequence %v", seq)
+			}
+			seen[b] = true
+		}
+	}
+	if got := r.OwnerSequence(specLikeKey(1), 2); len(got) != 2 {
+		t.Fatalf("truncated sequence length %d", len(got))
+	}
+}
+
+func TestChaosPlanDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		Backends: []string{"http://a:1", "http://b:1"},
+		Kills:    3,
+		Window:   time.Second,
+		Restart:  true,
+	}
+	p1 := NewChaosPlan(42, cfg)
+	p2 := NewChaosPlan(42, cfg)
+	if len(p1.Events) != 6 || len(p2.Events) != 6 {
+		t.Fatalf("event counts: %d, %d", len(p1.Events), len(p2.Events))
+	}
+	for i := range p1.Events {
+		if p1.Events[i] != p2.Events[i] {
+			t.Fatalf("plans diverge at %d: %+v vs %+v", i, p1.Events[i], p2.Events[i])
+		}
+		if i > 0 && p1.Events[i].At < p1.Events[i-1].At {
+			t.Fatal("events not time-ordered")
+		}
+	}
+	p3 := NewChaosPlan(43, cfg)
+	same := true
+	for i := range p1.Events {
+		if p1.Events[i] != p3.Events[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}

@@ -1,12 +1,3 @@
-// Package gen builds the deterministic synthetic workloads that stand in
-// for the paper's test data: laptop-scale analogs of the six SuiteSparse
-// matrices of Table I (M1–M6) and a 197-matrix suite mirroring the San
-// Jose State University Singular Matrix Database used in §VI-A.
-//
-// The generators target the *class properties* the paper's findings hinge
-// on — fill-in behaviour under Schur complementation and singular-value
-// decay — not the exact entries of the original matrices (which are not
-// redistributable here). See DESIGN.md §1 for the substitution rationale.
 package gen
 
 import (

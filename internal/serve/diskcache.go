@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"sparselr/internal/core"
+)
+
+// DiskCache is the persistent tier of the result cache: one
+// content-addressed file per spec key (the 64-hex-char SHA-256, no
+// extension) under a directory, framed by EncodeApproximation and
+// evicted least-recently-used against a byte budget. A daemon restarted
+// with the same directory comes back warm: OpenDiskCache re-indexes the
+// surviving files with their mtimes as the initial recency order.
+//
+// Writes are crash-safe: a frame is written to a same-directory temp
+// file and atomically renamed over the final name, so a reader (or a
+// restart) only ever sees complete frames or leftovers that fail the
+// checksum. Corrupt or truncated files — a crash mid-rename, bit rot —
+// are deleted and logged at open and on read; they never fail daemon
+// boot and never surface as results.
+type DiskCache struct {
+	mu     sync.Mutex
+	dir    string
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	logf   func(format string, args ...interface{})
+
+	hits, misses, writes, evictions, dropped uint64
+}
+
+type diskEntry struct {
+	key   string
+	bytes int64
+}
+
+// diskTmpPattern marks in-progress writes; leftovers are swept at open.
+const diskTmpPattern = ".tmp-*"
+
+// OpenDiskCache opens (creating if needed) the cache directory, sweeps
+// temp-file leftovers, validates every entry's frame checksum —
+// deleting and logging the corrupt ones — and evicts oldest-first until
+// the surviving bytes fit the budget. logf (nil = discard) receives one
+// line per recovered-from problem. The only errors are environmental
+// (directory not creatable/readable): cache content can never fail the
+// open.
+func OpenDiskCache(dir string, budget int64, logf func(format string, args ...interface{})) (*DiskCache, error) {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: disk cache dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: disk cache dir: %w", err)
+	}
+	c := &DiskCache{
+		dir:    dir,
+		budget: budget,
+		ll:     list.New(),
+		items:  map[string]*list.Element{},
+		logf:   logf,
+	}
+	type found struct {
+		key   string
+		bytes int64
+		mtime int64
+	}
+	var ok []found
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		if e.IsDir() {
+			continue
+		}
+		if matched, _ := filepath.Match(diskTmpPattern, name); matched {
+			// An interrupted Put: the rename never happened, so the entry
+			// was never visible. Sweep silently-but-logged.
+			os.Remove(path)
+			c.logf("serve: disk cache: removed leftover temp file %s", name)
+			continue
+		}
+		if !isCacheKey(name) {
+			c.logf("serve: disk cache: ignoring foreign file %s", name)
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if err := c.validateFile(path); err != nil {
+			os.Remove(path)
+			c.dropped++
+			c.logf("serve: disk cache: dropped corrupt entry %s: %v", name, err)
+			continue
+		}
+		ok = append(ok, found{key: name, bytes: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	// Oldest first, so PushFront leaves the newest file most recent.
+	sort.Slice(ok, func(i, j int) bool { return ok[i].mtime < ok[j].mtime })
+	for _, f := range ok {
+		c.items[f.key] = c.ll.PushFront(&diskEntry{key: f.key, bytes: f.bytes})
+		c.used += f.bytes
+	}
+	c.evictLocked()
+	return c, nil
+}
+
+// isCacheKey reports whether name is a content-addressed entry name
+// (64 lowercase hex chars, the Spec.Key format).
+func isCacheKey(name string) bool {
+	if len(name) != 64 {
+		return false
+	}
+	for _, r := range name {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validateFile decodes the whole frame (checksum included) without
+// keeping the result; used only at open, where memory for the decode is
+// transient.
+func (c *DiskCache) validateFile(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, err = DecodeApproximation(bytes.NewReader(b))
+	return err
+}
+
+// Get reads and decodes the entry for key, refreshing its recency. A
+// file that fails the frame check is deleted and logged, and reports a
+// miss — a poisoned entry can never surface as a result.
+func (c *DiskCache) Get(key string) (*core.Approximation, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ap, ok := c.readLocked(key)
+	return ap, ok
+}
+
+// ReadFrame returns the raw frame bytes for key (for the /v1/cache peer
+// endpoint: no decode/re-encode on the serving side). The frame check
+// still runs so a poisoned file is never shipped to a peer.
+func (c *DiskCache) ReadFrame(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	frame, _, ok := c.readLocked(key)
+	return frame, ok
+}
+
+// readLocked performs one checked read of key, refreshing recency on
+// success and dropping the entry (file included, logged) on any
+// read/decode failure. Caller holds c.mu.
+func (c *DiskCache) readLocked(key string) ([]byte, *core.Approximation, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(c.dir, key))
+	if err == nil {
+		var ap *core.Approximation
+		if ap, err = DecodeApproximation(bytes.NewReader(b)); err == nil {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return b, ap, true
+		}
+	}
+	// Unreadable or corrupt underneath us: drop the entry.
+	os.Remove(filepath.Join(c.dir, key))
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.used -= el.Value.(*diskEntry).bytes
+	c.dropped++
+	c.misses++
+	c.logf("serve: disk cache: dropped corrupt entry %s on read: %v", key, err)
+	return nil, nil, false
+}
+
+// Put persists a completed approximation under key: encode to a
+// same-directory temp file, fsync-free atomic rename, then evict from
+// the LRU tail until the budget holds. Entries larger than the whole
+// budget are skipped. Errors are logged, not returned: a full disk must
+// not fail the solve that produced the factors.
+func (c *DiskCache) Put(key string, ap *core.Approximation) {
+	if c == nil || ap == nil || !isCacheKey(key) {
+		return
+	}
+	var buf bytes.Buffer
+	if err := EncodeApproximation(&buf, ap); err != nil {
+		c.logf("serve: disk cache: encoding %s: %v", key, err)
+		return
+	}
+	size := int64(buf.Len())
+	if c.budget > 0 && size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tmp, err := os.CreateTemp(c.dir, ".tmp-"+key[:16]+"-*")
+	if err != nil {
+		c.logf("serve: disk cache: temp file for %s: %v", key, err)
+		return
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.logf("serve: disk cache: writing %s: %v", key, err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.logf("serve: disk cache: closing %s: %v", key, err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, key)); err != nil {
+		os.Remove(tmp.Name())
+		c.logf("serve: disk cache: publishing %s: %v", key, err)
+		return
+	}
+	c.writes++
+	if el, ok := c.items[key]; ok {
+		c.used += size - el.Value.(*diskEntry).bytes
+		el.Value.(*diskEntry).bytes = size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&diskEntry{key: key, bytes: size})
+		c.used += size
+	}
+	c.evictLocked()
+}
+
+// evictLocked removes LRU-tail entries (and their files) until the
+// resident bytes fit the budget. Caller holds c.mu.
+func (c *DiskCache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.used > c.budget {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*diskEntry)
+		c.ll.Remove(tail)
+		delete(c.items, e.key)
+		c.used -= e.bytes
+		c.evictions++
+		os.Remove(filepath.Join(c.dir, e.key))
+	}
+}
+
+// Dir returns the cache directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+// DiskStats is the operational snapshot of a DiskCache.
+type DiskStats struct {
+	Entries   int
+	Bytes     int64
+	Budget    int64
+	Hits      uint64
+	Misses    uint64
+	Writes    uint64
+	Evictions uint64
+	// Dropped counts corrupt/truncated entries deleted at open or read.
+	Dropped uint64
+}
+
+// Stats snapshots the cache counters.
+func (c *DiskCache) Stats() DiskStats {
+	if c == nil {
+		return DiskStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return DiskStats{
+		Entries:   len(c.items),
+		Bytes:     c.used,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Writes:    c.writes,
+		Evictions: c.evictions,
+		Dropped:   c.dropped,
+	}
+}
+
+// Keys returns the resident keys, most recent first (tests, tooling).
+func (c *DiskCache) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.items))
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*diskEntry).key)
+	}
+	return keys
+}

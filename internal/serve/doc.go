@@ -16,6 +16,21 @@
 //     requests onto the one in-flight job, so N simultaneous clients
 //     cost exactly one solve.
 //
+// Two further tiers extend reuse beyond one process's memory:
+//
+//   - the DiskCache persists solved factors as checksummed frames in a
+//     cache directory (atomic rename writes, LRU byte budget), so a
+//     restarted daemon answers its pre-restart keys without re-solving;
+//     corrupt or truncated files — a crash mid-rename — are deleted and
+//     logged at open, never trusted and never fatal;
+//   - a PeerFillFunc (wired by internal/fleet) lets a worker fetch an
+//     already-computed result from the key's ring owner over
+//     GET /v1/cache/{key} before solving locally; any failure falls
+//     back to the local solve.
+//
+// Admission order is memory cache → singleflight → disk tier → queue;
+// peer fill runs worker-side, after a job is admitted and started.
+//
 // Admission is a bounded queue: when it is full, Submit fails with
 // ErrQueueFull and the HTTP layer answers 429 with a Retry-After hint;
 // when the scheduler is draining (SIGTERM), new work gets 503 while

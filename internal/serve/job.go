@@ -113,6 +113,14 @@ func (j *Job) Wait(ctx context.Context) error {
 // Done exposes the completion channel (closed at terminal status).
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// markCached flags a job as satisfied without a fresh local solve
+// (peer cache fill).
+func (j *Job) markCached() {
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
+}
+
 // markRunning transitions queued → running; false if the job is no
 // longer startable (canceled or expired).
 func (j *Job) markRunning(now time.Time) bool {

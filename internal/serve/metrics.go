@@ -23,6 +23,10 @@ type Metrics struct {
 	rejections   uint64 // queue-full 429s
 	drainRejects uint64 // draining 503s
 
+	diskHits       uint64 // admissions served from the disk tier
+	peerFillHits   uint64 // solves avoided by fetching from the ring owner
+	peerFillMisses uint64 // peer-fill attempts that fell back to a local solve
+
 	batchesEnqueued uint64 // carrier jobs admitted by SubmitBatch
 	batchesRun      uint64 // carrier jobs executed by a worker
 	batchMembers    uint64 // member jobs solved inside a batch
@@ -74,6 +78,16 @@ func (h *histogram) observe(v float64) {
 func (m *Metrics) CacheHit()        { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *Metrics) SingleflightHit() { m.mu.Lock(); m.singleflight++; m.mu.Unlock() }
 func (m *Metrics) CacheMiss()       { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+
+// DiskHit records an admission satisfied from the on-disk cache tier
+// (a memory miss whose factors were found in the cache directory).
+func (m *Metrics) DiskHit() { m.mu.Lock(); m.diskHits++; m.mu.Unlock() }
+
+// PeerFillHit records a local solve avoided because the key's ring
+// owner supplied the factors; PeerFillMiss an attempt that missed (or
+// failed) and fell back to solving locally.
+func (m *Metrics) PeerFillHit()  { m.mu.Lock(); m.peerFillHits++; m.mu.Unlock() }
+func (m *Metrics) PeerFillMiss() { m.mu.Lock(); m.peerFillMisses++; m.mu.Unlock() }
 
 // Rejected records a queue-full 429; DrainRejected a draining 503.
 func (m *Metrics) Rejected()      { m.mu.Lock(); m.rejections++; m.mu.Unlock() }
@@ -150,6 +164,10 @@ type Gauges struct {
 	CacheBudget    int64
 	CacheEvictions uint64
 
+	// Disk carries the on-disk tier's counters (zero value when the
+	// daemon runs without -cachedir).
+	Disk DiskStats
+
 	ResumeStores int
 }
 
@@ -186,6 +204,15 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
 	gauge("lowrankd_cache_entries", "Resident cache entries.", float64(g.CacheEntries))
 	gauge("lowrankd_cache_bytes", "Estimated resident cache bytes.", float64(g.CacheBytes))
 	gauge("lowrankd_cache_budget_bytes", "Cache byte budget.", float64(g.CacheBudget))
+	counter("lowrankd_disk_cache_hits_total", "Admissions served from the on-disk cache tier.", m.diskHits)
+	gauge("lowrankd_disk_cache_entries", "Resident on-disk cache entries.", float64(g.Disk.Entries))
+	gauge("lowrankd_disk_cache_bytes", "Resident on-disk cache bytes.", float64(g.Disk.Bytes))
+	gauge("lowrankd_disk_cache_budget_bytes", "On-disk cache byte budget (0 = tier disabled).", float64(g.Disk.Budget))
+	counter("lowrankd_disk_cache_writes_total", "Factor files persisted to the cache directory.", g.Disk.Writes)
+	counter("lowrankd_disk_cache_evictions_total", "On-disk entries evicted under the byte budget.", g.Disk.Evictions)
+	counter("lowrankd_disk_cache_corrupt_total", "Corrupt/truncated cache files deleted at boot or read.", g.Disk.Dropped)
+	counter("lowrankd_peer_fill_hits_total", "Local solves avoided by fetching factors from the ring owner.", m.peerFillHits)
+	counter("lowrankd_peer_fill_misses_total", "Peer-fill attempts that fell back to a local solve.", m.peerFillMisses)
 	counter("lowrankd_batches_total", "Batch carrier jobs admitted.", m.batchesEnqueued)
 	counter("lowrankd_batches_run_total", "Batch carrier jobs executed.", m.batchesRun)
 	counter("lowrankd_batch_jobs_total", "Member jobs solved inside a batch.", m.batchMembers)

@@ -37,6 +37,13 @@ const (
 // count and gate solves; production uses DefaultSolve.
 type SolveFunc func(spec *Spec, store *dist.CheckpointStore) (*core.Approximation, error)
 
+// PeerFillFunc asks the fleet for an already-computed result before a
+// worker solves key locally: in a sharded deployment it fetches
+// GET /v1/cache/{key} from the key's ring owner (see internal/fleet).
+// ok=false — a miss, a dead owner, a timeout — always falls back to the
+// local solve, so peer fill can only remove work, never correctness.
+type PeerFillFunc func(key string) (*core.Approximation, bool)
+
 // DefaultSolve materializes the matrix and runs the library entry
 // point.
 func DefaultSolve(spec *Spec, store *dist.CheckpointStore) (*core.Approximation, error) {
@@ -101,6 +108,8 @@ type SchedulerConfig struct {
 	Deadline   time.Duration // default per-job deadline (0 = none)
 	Solve      SolveFunc     // nil = DefaultSolve
 	Cache      *Cache        // nil = no result cache
+	Disk       *DiskCache    // nil = no persistent tier
+	PeerFill   PeerFillFunc  // nil = never ask peers
 	Resume     *ResumeRegistry
 	Metrics    *Metrics // nil = a private unexported set
 }
@@ -189,13 +198,7 @@ func (s *Scheduler) Submit(spec *Spec) (*Job, Outcome, error) {
 	// Result cache first: a hit needs no queue slot even while full.
 	if s.cfg.Cache != nil {
 		if ap, ok := s.cfg.Cache.Get(key); ok {
-			j := newJob(nextJobID(), spec, now, time.Time{})
-			j.cached = true
-			j.status = StatusDone
-			j.ap = ap
-			j.finishedAt = now
-			close(j.done)
-			s.rememberLocked(j)
+			j := s.doneJobLocked(spec, ap, now)
 			s.metrics.CacheHit()
 			return j, CacheHit, nil
 		}
@@ -204,6 +207,19 @@ func (s *Scheduler) Submit(spec *Spec) (*Job, Outcome, error) {
 	if flight, ok := s.inflight[key]; ok {
 		s.metrics.SingleflightHit()
 		return flight, Joined, nil
+	}
+	// Disk tier last: a restarted daemon serves its pre-restart keys
+	// from the cache directory without re-solving. The hit is promoted
+	// into the memory tier so the file is read at most once per warmup.
+	if s.cfg.Disk != nil {
+		if ap, ok := s.cfg.Disk.Get(key); ok {
+			if s.cfg.Cache != nil {
+				s.cfg.Cache.Put(key, ap)
+			}
+			j := s.doneJobLocked(spec, ap, now)
+			s.metrics.DiskHit()
+			return j, CacheHit, nil
+		}
 	}
 	if s.draining {
 		s.metrics.DrainRejected()
@@ -254,6 +270,7 @@ func (s *Scheduler) SubmitBatch(specs []*Spec) ([]*Job, []Outcome, error) {
 	)
 	kinds := make([]int, len(specs))
 	aps := make([]*core.Approximation, len(specs))
+	disk := make([]bool, len(specs))
 	flights := make([]*Job, len(specs))
 	dups := make([]int, len(specs))
 	keys := make([]string, len(specs))
@@ -270,6 +287,12 @@ func (s *Scheduler) SubmitBatch(specs []*Spec) ([]*Job, []Outcome, error) {
 		if flight, ok := s.inflight[keys[i]]; ok {
 			kinds[i], flights[i] = planJoin, flight
 			continue
+		}
+		if s.cfg.Disk != nil {
+			if ap, ok := s.cfg.Disk.Get(keys[i]); ok {
+				kinds[i], aps[i], disk[i] = planCache, ap, true
+				continue
+			}
 		}
 		if first, ok := firstByKey[keys[i]]; ok {
 			kinds[i], dups[i] = planLocalDup, first
@@ -307,14 +330,15 @@ func (s *Scheduler) SubmitBatch(specs []*Spec) ([]*Job, []Outcome, error) {
 	for i, spec := range specs {
 		switch kinds[i] {
 		case planCache:
-			j := newJob(nextJobID(), spec, now, time.Time{})
-			j.cached = true
-			j.status = StatusDone
-			j.ap = aps[i]
-			j.finishedAt = now
-			close(j.done)
-			s.rememberLocked(j)
-			s.metrics.CacheHit()
+			j := s.doneJobLocked(spec, aps[i], now)
+			if disk[i] {
+				if s.cfg.Cache != nil {
+					s.cfg.Cache.Put(keys[i], aps[i])
+				}
+				s.metrics.DiskHit()
+			} else {
+				s.metrics.CacheHit()
+			}
 			jobs[i], outcomes[i] = j, CacheHit
 		case planJoin:
 			s.metrics.SingleflightHit()
@@ -340,6 +364,19 @@ func (s *Scheduler) SubmitBatch(specs []*Spec) ([]*Job, []Outcome, error) {
 		s.metrics.BatchEnqueued()
 	}
 	return jobs, outcomes, nil
+}
+
+// doneJobLocked builds, remembers and returns an already-terminal job
+// carrying a cached result. Caller holds s.mu.
+func (s *Scheduler) doneJobLocked(spec *Spec, ap *core.Approximation, now time.Time) *Job {
+	j := newJob(nextJobID(), spec, now, time.Time{})
+	j.cached = true
+	j.status = StatusDone
+	j.ap = ap
+	j.finishedAt = now
+	close(j.done)
+	s.rememberLocked(j)
+	return j
 }
 
 // rememberLocked indexes a job by id, trimming the oldest terminal
@@ -434,6 +471,9 @@ func (s *Scheduler) settle(j *Job, ap *core.Approximation, err error, wall time.
 		if s.cfg.Cache != nil {
 			s.cfg.Cache.Put(j.Key, ap)
 		}
+		if s.cfg.Disk != nil {
+			s.cfg.Disk.Put(j.Key, ap)
+		}
 		if s.cfg.Resume != nil && store != nil {
 			s.cfg.Resume.Release(j.Key)
 		}
@@ -449,9 +489,37 @@ func (s *Scheduler) settle(j *Job, ap *core.Approximation, err error, wall time.
 	s.clearFlight(j)
 }
 
+// peerFill tries to satisfy a started job from the key's ring owner
+// instead of solving. A fetched result is installed into the in-memory
+// LRU (not the disk tier: the cache directory holds what *this* shard
+// computed) and the job finishes as a cached success. Reports whether
+// the job was settled.
+func (s *Scheduler) peerFill(j *Job) bool {
+	if s.cfg.PeerFill == nil {
+		return false
+	}
+	ap, ok := s.cfg.PeerFill(j.Key)
+	if !ok {
+		s.metrics.PeerFillMiss()
+		return false
+	}
+	s.metrics.PeerFillHit()
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.Put(j.Key, ap)
+	}
+	j.markCached()
+	j.finish(StatusDone, ap, nil, time.Now())
+	s.metrics.JobFinished(StatusDone)
+	s.clearFlight(j)
+	return true
+}
+
 // runOne solves a single job on the calling worker.
 func (s *Scheduler) runOne(j *Job) {
 	if !s.startable(j, time.Now()) {
+		return
+	}
+	if s.peerFill(j) {
 		return
 	}
 	s.mu.Lock()
@@ -481,7 +549,7 @@ func (s *Scheduler) runBatch(members []*Job) {
 	now := time.Now()
 	run := make([]*Job, 0, len(members))
 	for _, j := range members {
-		if s.startable(j, now) {
+		if s.startable(j, now) && !s.peerFill(j) {
 			run = append(run, j)
 		}
 	}

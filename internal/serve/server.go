@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -26,6 +27,16 @@ type Config struct {
 	Resume     *ResumeRegistry
 	Metrics    *Metrics
 
+	// Disk adds the persistent cache tier (nil = memory only): solved
+	// factors are written to the cache directory and admissions that
+	// miss the memory tier are served from it, so a restarted daemon
+	// comes back warm.
+	Disk *DiskCache
+	// PeerFill, when set, is consulted by workers before solving a
+	// fresh key locally (peer cache fill across a sharded fleet; see
+	// internal/fleet).
+	PeerFill PeerFillFunc
+
 	// MaxBodyBytes bounds uploaded request bodies (0 = 64 MiB).
 	MaxBodyBytes int64
 
@@ -44,11 +55,14 @@ type Config struct {
 //	GET    /v1/jobs/{id}/result    result summary (solver errors get
 //	                               their class-specific status code)
 //	GET    /v1/jobs/{id}/factors/{name}  factor as JSON or MatrixMarket
+//	GET    /v1/cache/{key}         framed factors by content key (peer
+//	                               cache fill; 404 on miss)
 //	GET    /healthz                liveness (503 while draining)
 //	GET    /metrics                Prometheus text format
 type Server struct {
 	sched   *Scheduler
 	cache   *Cache
+	disk    *DiskCache
 	resume  *ResumeRegistry
 	metrics *Metrics
 	mux     *http.ServeMux
@@ -75,6 +89,7 @@ func NewServer(cfg Config) *Server {
 	}
 	s := &Server{
 		cache:      cache,
+		disk:       cfg.Disk,
 		resume:     cfg.Resume,
 		metrics:    cfg.Metrics,
 		maxBody:    cfg.MaxBodyBytes,
@@ -92,6 +107,8 @@ func NewServer(cfg Config) *Server {
 		Deadline:   cfg.Deadline,
 		Solve:      cfg.Solve,
 		Cache:      cache,
+		Disk:       cfg.Disk,
+		PeerFill:   cfg.PeerFill,
 		Resume:     cfg.Resume,
 		Metrics:    cfg.Metrics,
 	})
@@ -102,6 +119,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/factors/{name}", s.handleFactor)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheFetch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -271,8 +289,16 @@ func (s *Server) parseSubmit(r *http.Request) (*Spec, error) {
 	if int64(len(body)) > s.maxBody {
 		return nil, fmt.Errorf("serve: request body exceeds %d bytes", s.maxBody)
 	}
-	ct := r.Header.Get("Content-Type")
-	if strings.HasPrefix(ct, "application/json") {
+	return ParseSubmitBody(r.Header.Get("Content-Type"), body, r.URL.Query())
+}
+
+// ParseSubmitBody interprets a POST /v1/jobs payload — an
+// application/json Spec, or a raw MatrixMarket body with the solver
+// knobs in the query string — without validating it. Exported for the
+// fleet gateway, which must compute a spec's content key to pick the
+// owning shard before forwarding the identical request.
+func ParseSubmitBody(contentType string, body []byte, q url.Values) (*Spec, error) {
+	if strings.HasPrefix(contentType, "application/json") {
 		spec := &Spec{}
 		if err := json.Unmarshal(body, spec); err != nil {
 			return nil, fmt.Errorf("serve: bad JSON spec: %v", err)
@@ -280,7 +306,6 @@ func (s *Server) parseSubmit(r *http.Request) (*Spec, error) {
 		return spec, nil
 	}
 	// MatrixMarket upload: knobs from the query string.
-	q := r.URL.Query()
 	spec := &Spec{
 		MatrixMarket: string(body),
 		Method:       q.Get("method"),
@@ -405,6 +430,33 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCacheFetch serves GET /v1/cache/{key}: the framed factors for a
+// content-addressed key, memory tier first, then disk. This is the peer
+// cache fill endpoint — a non-owning shard asks the key's ring owner
+// here before solving locally. It reads caches only (never schedules
+// work), so it stays cheap and safe to call even when the owner's queue
+// is full or draining.
+func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !isCacheKey(key) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: malformed cache key %q", key))
+		return
+	}
+	if s.cache != nil {
+		if ap, ok := s.cache.Get(key); ok {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			EncodeApproximation(w, ap)
+			return
+		}
+	}
+	if frame, ok := s.disk.ReadFrame(key); ok {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(frame)
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("serve: no cached result for key %s", key))
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.sched.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -425,6 +477,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cache != nil {
 		g.CacheEntries, g.CacheBytes, g.CacheBudget, g.CacheEvictions = s.cache.Stats()
+	}
+	if s.disk != nil {
+		g.Disk = s.disk.Stats()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteProm(w, g)

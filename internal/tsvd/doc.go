@@ -1,0 +1,7 @@
+// Package tsvd provides the truncated-SVD baseline of the paper's
+// evaluation: the Eckart–Young-optimal fixed-precision approximation used
+// to compute the "minimum rank required" reference series of Figs 2–3.
+// The paper excludes TSVD from runtime comparisons ("prohibitive
+// computational cost") and so does this package — it exists as the
+// accuracy yardstick.
+package tsvd

@@ -13,20 +13,27 @@
 #      the golden values captured from the pre-sketch-layer code
 #      (seeddrift_test.go) so published seed results stand
 #   7. doc-link check: relative links in *.md must resolve
-#   8. daemon smoke test: build cmd/lowrankd, boot it on an ephemeral
+#   8. godoc-presence gate: every package must carry a package-level
+#      doc comment (go doc works everywhere)
+#   9. daemon smoke test: build cmd/lowrankd, boot it on an ephemeral
 #      port, submit a workload twice (cold solve then cache hit),
 #      SIGTERM-drain cleanly -> BENCH_serve.json (cold vs cached
 #      latency, cached requests/sec)
-#   9. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
-#  10. dist collective micro-benchmarks (traced vs untraced) -> BENCH_dist.json
-#  11. sketch micro-benchmarks -> BENCH_sketch.json (ns/op + allocs/op),
+#  10. fleet smoke test: build cmd/lowrankd + cmd/lowrank-gateway, boot
+#      a two-shard fleet behind the gateway, assert exactly-once
+#      fleet-wide dedup, peer cache fill, kill-mid-wave rerouting and
+#      warm restart from -cachedir -> gateway req/s and peer-fill hit
+#      rate merged into BENCH_serve.json
+#  11. kernel micro-benchmarks -> BENCH_kernels.json (ns/op per kernel)
+#  12. dist collective micro-benchmarks (traced vs untraced) -> BENCH_dist.json
+#  13. sketch micro-benchmarks -> BENCH_sketch.json (ns/op + allocs/op),
 #      asserting SparseSign apply >= 3x faster than Gaussian and
 #      0 allocs/op on the Gaussian/SparseSign apply paths
 #
 # Environment knobs:
-#   SKIP_BENCH=1    skip steps 8-11
-#   BENCHTIME=...   per-benchmark budget for steps 9-11 (default 200ms)
-#   TESTTIMEOUT=... watchdog for steps 4-6 and 8 (default 10m)
+#   SKIP_BENCH=1    skip steps 9-13
+#   BENCHTIME=...   per-benchmark budget for steps 11-13 (default 200ms)
+#   TESTTIMEOUT=... watchdog for steps 4-6 and 9-10 (default 10m)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -50,7 +57,7 @@ go test -timeout "${TESTTIMEOUT:-10m}" ./...
 
 echo "== go test -race (kernel + fault-injection + serving packages, watchdog timeout)"
 go test -race -timeout "${TESTTIMEOUT:-10m}" \
-    ./internal/mat ./internal/sparse ./internal/sketch ./internal/serve \
+    ./internal/mat ./internal/sparse ./internal/sketch ./internal/serve ./internal/fleet \
     ./internal/dist/... ./internal/randqb/... ./internal/randubv/... ./internal/lucrtp/...
 
 echo "== seed-drift gate (default-Gaussian bit-identity vs golden hashes)"
@@ -79,12 +86,27 @@ if [[ "$bad" != "0" ]]; then
 fi
 echo "doc links OK"
 
+echo "== godoc-presence gate (every package documents itself)"
+undocumented=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./... | grep -v '^$' || true)
+if [[ -n "$undocumented" ]]; then
+    echo "packages without a package-level doc comment:"
+    echo "$undocumented"
+    exit 1
+fi
+echo "godoc coverage OK"
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "== daemon smoke test (cold solve -> cache hit -> clean drain)"
     BENCH_SERVE_OUT="$PWD/BENCH_serve.json" \
         go test -run '^TestDaemonSmoke$' -count=1 -timeout "${TESTTIMEOUT:-10m}" -v ./cmd/lowrankd \
         | grep -E '^(=== RUN|--- |ok|FAIL|    smoke)'
     echo "wrote BENCH_serve.json"
+
+    echo "== fleet smoke test (2 shards + gateway: exactly-once, peer fill, kill/reroute, warm restart)"
+    BENCH_SERVE_OUT="$PWD/BENCH_serve.json" \
+        go test -run '^TestFleetSmoke$' -count=1 -timeout "${TESTTIMEOUT:-10m}" -v ./cmd/lowrank-gateway \
+        | grep -E '^(=== RUN|--- |ok|FAIL|    smoke)'
+    echo "merged fleet metrics into BENCH_serve.json"
 
     echo "== kernel micro-benchmarks (with parallel-vs-serial speedup gates)"
     out=$(go test -run '^$' -bench '^BenchmarkKernel' -benchtime "${BENCHTIME:-200ms}" . ./internal/mat | grep -E '^Benchmark')
