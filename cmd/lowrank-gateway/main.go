@@ -11,10 +11,14 @@
 //
 // Clients speak the exact lowrankd API to the gateway — submit, batch,
 // status, result, factors, cancel, ?wait — and never see the topology.
-// The gateway probes each backend's /healthz, evicts a shard from the
-// ring after consecutive failures (its keys reroute to the survivors),
-// readmits it on recovery, spills 429/503 backpressure over to the
-// next shard, and exposes its own routing counters on /metrics.
+// The gateway probes each backend's /healthz (with jittered intervals
+// so multiple gateways don't probe in lockstep), evicts a shard from
+// the ring after consecutive failures (its keys reroute to the
+// survivors), readmits it on recovery, spills 429/503 backpressure
+// over to the next shard, coalesces concurrent identical submissions
+// onto one upstream flight, rides out fleet-wide dial failures with a
+// jittered-backoff retry budget, and exposes its routing counters on
+// /metrics.
 package main
 
 import (
@@ -40,6 +44,9 @@ func main() {
 		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health-probe period per backend")
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "health-probe request timeout")
 		failThreshold = flag.Int("fail-threshold", 2, "consecutive failures that evict a backend from the ring")
+		probeJitter   = flag.Float64("probe-jitter", 0.1, "probe-interval jitter fraction (negative disables)")
+		retryBudget   = flag.Int("retry-budget", 2, "extra backoff passes over a key's candidates after every one dial-failed (negative disables)")
+		retryBase     = flag.Duration("retry-base", 25*time.Millisecond, "first retry-backoff delay; doubles per pass with jitter, capped at 1s")
 		maxBody       = flag.Int64("max-body-bytes", 64<<20, "largest accepted request body")
 	)
 	flag.Parse()
@@ -61,9 +68,12 @@ func main() {
 			Interval:      *probeInterval,
 			Timeout:       *probeTimeout,
 			FailThreshold: *failThreshold,
+			Jitter:        *probeJitter,
 			Logf:          logf,
 		},
 		MaxBodyBytes: *maxBody,
+		RetryBudget:  *retryBudget,
+		RetryBase:    *retryBase,
 		Logf:         logf,
 	})
 	if err != nil {

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparselr/internal/fleet"
+)
+
+// soakPlanSeed pins the chaos schedule: the same kills at the same
+// offsets every run, so a soak failure replays exactly.
+// TestChaosPlanFakeClockWalk in internal/fleet walks this very plan
+// shape under a fake clock; the soak executes it against real
+// processes.
+const soakPlanSeed = 20260807
+
+// TestFleetSoak is the chaos soak for the replicated fleet: three
+// lowrankd shards with owner-set replication (R=2) behind one
+// gateway, a duplicate-heavy workload, and a seeded ChaosPlan
+// SIGKILLing and restarting shards underneath it. It asserts the
+// replication contract end to end:
+//
+//   - zero client-visible 5xx across the whole chaos window (at most
+//     one shard is down at a time — MaxDown = R-1 — so every key
+//     always has a live owner, and the gateway's reroute + retry
+//     budget must always find it);
+//   - exactly-once solving: the chaos-phase workload is all duplicate
+//     keys, so fleet-wide fresh solves stay at the warm-up count.
+//     Reconciled from metrics: solves retired with each victim (its
+//     counter scraped just before SIGKILL) plus the live shards'
+//     final counters must equal the distinct-key count;
+//   - warm replicas: after every kill, the gateway's replica-read
+//     counter must rise — the dead primary's keys are being answered
+//     from a successor owner's cache, not re-solved.
+//
+// The soak boots real binaries and runs ~15s of wall-clock chaos, so
+// it is opt-in: set LOWRANK_SOAK=1 (verify.sh -soak) to run it. When
+// BENCH_SERVE_OUT is also set, the soak's replica-read rate is merged
+// into the bench JSON.
+func TestFleetSoak(t *testing.T) {
+	if os.Getenv("LOWRANK_SOAK") == "" {
+		t.Skip("chaos soak: set LOWRANK_SOAK=1 (or verify.sh -soak) to run")
+	}
+	dir := t.TempDir()
+	lrd := filepath.Join(dir, "lowrankd")
+	gwBin := filepath.Join(dir, "lowrank-gateway")
+	for bin, pkg := range map[string]string{lrd: "../lowrankd", gwBin: "."} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	const shards = 2 + 1 // R live owners plus one bystander
+	const replication = 2
+	ports := make([]int, shards)
+	urls := make([]string, shards)
+	dirs := make([]string, shards)
+	for i := range ports {
+		ports[i] = freePort(t)
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", ports[i])
+		dirs[i] = filepath.Join(dir, fmt.Sprintf("cache%d", i))
+	}
+	peers := strings.Join(urls, ",")
+
+	// procs maps a shard URL to its live process; kill/restart swap
+	// entries under mu so the final reconciliation scrapes only live
+	// daemons.
+	var mu sync.Mutex
+	procs := map[string]*daemon{}
+	portOf := map[string]int{}
+	dirOf := map[string]string{}
+	startShard := func(url string) *daemon {
+		return startDaemon(t, lrd,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", portOf[url]),
+			"-workers", "2",
+			"-cachedir", dirOf[url],
+			"-peers", peers,
+			"-self", url,
+			"-replication", fmt.Sprint(replication),
+		)
+	}
+	for i, u := range urls {
+		portOf[u], dirOf[u] = ports[i], dirs[i]
+		procs[u] = startShard(u)
+	}
+
+	gw := startDaemon(t, gwBin,
+		"-addr", "127.0.0.1:0",
+		"-backends", peers,
+		"-probe-interval", "100ms",
+		"-fail-threshold", "1",
+		"-retry-budget", "3",
+		"-retry-base", "50ms",
+	)
+
+	// Pick 3 seeds primary-owned by each shard, 9 distinct keys total,
+	// with the same ring the fleet computes ownership on.
+	ring := fleet.NewRing(0)
+	for _, u := range urls {
+		ring.Add(u)
+	}
+	perShard := map[string][]int64{}
+	var seeds []int64
+	for s := int64(1); s <= 4096 && len(seeds) < 3*shards; s++ {
+		owner, _ := ring.Owner(fleetKey(t, s))
+		if len(perShard[owner]) >= 3 {
+			continue
+		}
+		perShard[owner] = append(perShard[owner], s)
+		seeds = append(seeds, s)
+	}
+	if len(seeds) != 3*shards {
+		t.Fatalf("could not spread seeds over the ring: %v", perShard)
+	}
+
+	// Phase A: warm up. Solve every key once through the gateway, then
+	// wait for replication to quiesce so each frame lives on R owners
+	// before the first SIGKILL.
+	for _, s := range seeds {
+		code, v := submitTo(t, gw.base, s, "120s")
+		if code != http.StatusOK || v["status"] != "done" {
+			t.Fatalf("warm-up seed %d: %d %v", s, code, v)
+		}
+	}
+	sumOver := func(series string) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		var total float64
+		for u := range procs {
+			total += scrape(t, u, series)
+		}
+		return total
+	}
+	if got := sumOver("lowrankd_solves_total"); got != float64(len(seeds)) {
+		t.Fatalf("warm-up solves = %v, want %d", got, len(seeds))
+	}
+	quiesce := time.Now().Add(15 * time.Second)
+	for {
+		pushes := sumOver("lowrankd_replication_pushes_total")
+		pending := sumOver("lowrankd_replication_pending")
+		if pending == 0 && pushes >= float64(len(seeds)) {
+			break
+		}
+		if time.Now().After(quiesce) {
+			t.Fatalf("replication never quiesced: pushes=%v pending=%v", pushes, pending)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if fails := sumOver("lowrankd_replication_push_failures_total"); fails != 0 {
+		t.Fatalf("replication push failures during warm-up: %v", fails)
+	}
+
+	// Phase B: chaos. A seeded plan kills one shard at a time (MaxDown
+	// = R-1 keeps every owner set partially alive) while a duplicate-
+	// heavy workload hammers all 9 keys through the gateway.
+	plan := fleet.NewChaosPlan(soakPlanSeed, fleet.ChaosConfig{
+		Backends: urls,
+		Kills:    3,
+		Window:   12 * time.Second,
+		Restart:  true,
+		Down:     3 * time.Second,
+		MaxDown:  replication - 1,
+	})
+	t.Logf("chaos plan (seed %d):", soakPlanSeed)
+	for _, ev := range plan.Events {
+		t.Logf("  %8s %-7s %s", ev.At.Round(time.Millisecond), ev.Kind, ev.Backend)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var requests, fiveXX int64
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := seeds[i%len(seeds)]
+				resp, err := http.Post(gw.base+"/v1/jobs?wait=30s", "application/json",
+					strings.NewReader(fleetSpec(s)))
+				if err != nil {
+					t.Errorf("workload: gateway unreachable: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				atomic.AddInt64(&requests, 1)
+				if resp.StatusCode >= 500 {
+					atomic.AddInt64(&fiveXX, 1)
+					t.Errorf("workload: seed %d answered %d during chaos", s, resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+
+	// retiredSolves accumulates each victim's solve counter scraped in
+	// the instant before SIGKILL: a restarted shard reports zero, so
+	// the pre-kill scrape is the only record of its warm-up work.
+	var retiredSolves float64
+	kills := 0
+	kill := func(url string) {
+		mu.Lock()
+		sh := procs[url]
+		mu.Unlock()
+		retiredSolves += scrape(t, url, "lowrankd_solves_total")
+		replicaBase := scrape(t, gw.base, "lowrank_gateway_replica_reads_total")
+		if err := sh.cmd.Process.Kill(); err != nil {
+			t.Errorf("SIGKILL %s: %v", url, err)
+			return
+		}
+		sh.cmd.Wait()
+		kills++
+		t.Logf("killed %s (retired %v solves so far)", url, retiredSolves)
+		// The dead primary's keys are still in the workload: the
+		// gateway must start answering them from a replica owner's
+		// cache before the shard comes back.
+		deadline := time.Now().Add(2500 * time.Millisecond)
+		for scrape(t, gw.base, "lowrank_gateway_replica_reads_total") <= replicaBase {
+			if time.Now().After(deadline) {
+				t.Errorf("kill %d (%s): no replica-tier reads while the primary was down", kills, url)
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	restart := func(url string) {
+		sh := startShard(url)
+		mu.Lock()
+		procs[url] = sh
+		mu.Unlock()
+		t.Logf("restarted %s", url)
+	}
+	plan.Run(kill, restart)
+	// Let the last restart settle under load before stopping.
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := atomic.LoadInt64(&fiveXX); n != 0 {
+		t.Fatalf("%d client-visible 5xx during chaos (of %d requests)", n, atomic.LoadInt64(&requests))
+	}
+	// Exactly-once reconciliation: every fresh solve is in a victim's
+	// pre-kill scrape or a live shard's counter — and the duplicate
+	// workload must not have added any.
+	finalSolves := sumOver("lowrankd_solves_total")
+	if retiredSolves+finalSolves != float64(len(seeds)) {
+		t.Fatalf("solve reconciliation: retired %v + live %v != %d distinct keys (duplicate re-solved or solve lost)",
+			retiredSolves, finalSolves, len(seeds))
+	}
+	replicaReads := scrape(t, gw.base, "lowrank_gateway_replica_reads_total")
+	if replicaReads < float64(kills) {
+		t.Fatalf("replica reads = %v over %d kills, want at least one per kill", replicaReads, kills)
+	}
+	reqs := atomic.LoadInt64(&requests)
+	replicaRate := replicaReads / float64(reqs)
+	t.Logf("soak: %d requests, 0 5xx, %d kills, %v replica reads (rate %.3f)",
+		reqs, kills, replicaReads, replicaRate)
+
+	if out := os.Getenv("BENCH_SERVE_OUT"); out != "" {
+		bench := map[string]interface{}{}
+		if raw, err := os.ReadFile(out); err == nil {
+			json.Unmarshal(raw, &bench)
+		}
+		bench["soak_requests"] = reqs
+		bench["soak_kills"] = kills
+		bench["soak_replica_read_rate"] = float64(int64(replicaRate*1000+0.5)) / 1000
+		raw, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", out, err)
+		}
+	}
+}

@@ -31,8 +31,10 @@
 // Fleet flags: -cachedir adds a disk-persistent cache tier (a restarted
 // daemon serves its pre-restart keys without re-solving); -peers plus
 // -self enable peer cache fill, where a shard fetches finished factors
-// from the key's ring owner before solving locally (see internal/fleet
-// and cmd/lowrank-gateway).
+// from the key's owner set before solving locally; -replication R > 1
+// makes every fresh solve push its frame to the R-1 replica owners, so
+// a SIGKILLed shard's keys stay warm on its successors (see
+// internal/fleet and cmd/lowrank-gateway).
 package main
 
 import (
@@ -66,6 +68,7 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated fleet member base URLs for peer cache fill")
 		self         = flag.String("self", "", "this shard's own base URL within -peers (required with -peers)")
 		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "peer cache-fill fetch timeout")
+		replication  = flag.Int("replication", 1, "owner-set size R: fresh solves replicate to R-1 successor owners (needs -peers)")
 	)
 	flag.Parse()
 	if *workers <= 0 || *queueDepth <= 0 || *maxBody <= 0 {
@@ -97,7 +100,13 @@ func main() {
 			*cacheDir, st.Entries, st.Bytes, st.Dropped)
 	}
 
+	// The metrics set is shared between the server and the peer client
+	// so replication counters land on the same /metrics page.
+	metrics := serve.NewMetrics()
+
+	var peerClient *fleet.PeerClient
 	var peerFill serve.PeerFillFunc
+	var replicate serve.ReplicateFunc
 	if *peers != "" {
 		if *self == "" {
 			fmt.Fprintln(os.Stderr, "lowrankd: -peers requires -self")
@@ -107,7 +116,19 @@ func main() {
 		for i := range list {
 			list[i] = strings.TrimSpace(list[i])
 		}
-		peerFill = fleet.NewPeerClient(list, *self, *peerTimeout, logf).Fill
+		peerClient = fleet.NewPeerClient(fleet.PeerConfig{
+			Peers:   list,
+			Self:    *self,
+			R:       *replication,
+			Timeout: *peerTimeout,
+			Metrics: metrics,
+			Logf:    logf,
+		})
+		peerFill = peerClient.Fill
+		replicate = peerClient.ReplicateFunc()
+	} else if *replication > 1 {
+		fmt.Fprintln(os.Stderr, "lowrankd: -replication needs -peers")
+		os.Exit(2)
 	}
 
 	srv := serve.NewServer(serve.Config{
@@ -118,6 +139,8 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		Disk:         disk,
 		PeerFill:     peerFill,
+		Replicate:    replicate,
+		Metrics:      metrics,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -144,6 +167,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lowrankd:", err)
 			hs.Close()
 			os.Exit(1)
+		}
+		if peerClient != nil {
+			peerClient.Close() // flush queued replication pushes
 		}
 		if err := hs.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "lowrankd: shutdown:", err)

@@ -32,44 +32,126 @@ type ChaosConfig struct {
 	// Backends are the candidate victims.
 	Backends []string
 	// Kills is how many kill events to schedule (each followed by a
-	// restart when Restart is true).
+	// restart when Restart is true). Without Restart each backend can
+	// die at most once, so the plan stops early if Kills exceeds the
+	// backend count.
 	Kills int
-	// Window is the time span events are spread over.
+	// Window is the time span kill times are drawn from. Alternation
+	// and MaxDown repair push conflicting kills later, so a dense plan
+	// may run slightly past Window; Events stays time-ordered.
 	Window time.Duration
-	// Restart schedules a matching restart for every kill, half a
-	// window later (capped to Window).
+	// Restart schedules a matching restart Down after every kill.
 	Restart bool
+	// Down is how long a killed backend stays dead before its restart.
+	// 0 keeps the legacy shape: Window/2, capped so the restart lands
+	// by Window when possible.
+	Down time.Duration
+	// MaxDown caps how many backends may be down simultaneously
+	// (0 = no cap). Soak tests that assert replica availability use
+	// MaxDown = R-1 so a key's owner set is never entirely dead.
+	MaxDown int
+}
+
+// chaosInterval is one scheduled downtime span [from, to).
+type chaosInterval struct {
+	from, to time.Duration
 }
 
 // NewChaosPlan derives a deterministic plan from a seed. Victims and
 // times come from the seeded generator only, so the plan is a pure
 // function of (seed, config).
+//
+// Generated plans describe physically possible failure sequences: a
+// backend is never scheduled for a second kill before its restart has
+// fired (kills drawn inside a victim's downtime are pushed just past
+// its restart), and with MaxDown set, a kill that would exceed the
+// concurrent-downtime cap is pushed to the earliest time a slot frees
+// up. Both repairs move times forward only, preserving the event count
+// per kill, so a seed's plan keeps its shape across config tweaks.
 func NewChaosPlan(seed int64, cfg ChaosConfig) *ChaosPlan {
 	rng := rand.New(rand.NewSource(seed))
 	p := &ChaosPlan{Seed: seed}
 	if len(cfg.Backends) == 0 || cfg.Kills <= 0 || cfg.Window <= 0 {
 		return p
 	}
+	down := cfg.Down
+	if down <= 0 {
+		down = cfg.Window / 2
+	}
+	// next[victim] is the earliest instant the victim may die again:
+	// strictly after its previous restart. Without Restart a kill is
+	// permanent, so the victim is simply removed from the pool.
+	next := map[string]time.Duration{}
+	pool := append([]string(nil), cfg.Backends...)
+	var downs []chaosInterval
 	for i := 0; i < cfg.Kills; i++ {
-		victim := cfg.Backends[rng.Intn(len(cfg.Backends))]
+		if len(pool) == 0 {
+			break // Restart=false and every backend already died once
+		}
+		victim := pool[rng.Intn(len(pool))]
 		at := time.Duration(rng.Int63n(int64(cfg.Window)))
+		if at < next[victim] {
+			at = next[victim] // alternation: wait out the victim's own downtime
+		}
+		if cfg.MaxDown > 0 {
+			at = chaosSlot(downs, at, down, cfg.MaxDown)
+		}
+		back := at + down
+		if cfg.Down <= 0 && back > cfg.Window {
+			// Legacy cap: restarts land by Window unless alternation
+			// already pushed the kill itself past it.
+			back = cfg.Window
+			if back <= at {
+				back = at + time.Nanosecond
+			}
+		}
 		p.Events = append(p.Events, ChaosEvent{At: at, Backend: victim, Kind: "kill"})
 		if cfg.Restart {
-			back := at + cfg.Window/2
-			if back > cfg.Window {
-				back = cfg.Window
-			}
 			p.Events = append(p.Events, ChaosEvent{At: back, Backend: victim, Kind: "restart"})
+			next[victim] = back + time.Nanosecond
+			downs = append(downs, chaosInterval{from: at, to: back})
+		} else {
+			for j, b := range pool {
+				if b == victim {
+					pool = append(pool[:j], pool[j+1:]...)
+					break
+				}
+			}
+			downs = append(downs, chaosInterval{from: at, to: 1<<63 - 1})
 		}
 	}
-	sort.Slice(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
 	return p
+}
+
+// chaosSlot pushes a candidate downtime [at, at+down) later until it
+// overlaps fewer than maxDown already-scheduled downtimes. Each step
+// jumps just past the soonest-ending conflicting interval, so the
+// search terminates and moves time forward only.
+func chaosSlot(downs []chaosInterval, at, down time.Duration, maxDown int) time.Duration {
+	for {
+		conflicts := 0
+		soonestEnd := time.Duration(-1)
+		for _, iv := range downs {
+			if iv.from < at+down && at < iv.to {
+				conflicts++
+				if soonestEnd < 0 || iv.to < soonestEnd {
+					soonestEnd = iv.to
+				}
+			}
+		}
+		if conflicts < maxDown {
+			return at
+		}
+		at = soonestEnd + time.Nanosecond
+	}
 }
 
 // Run replays the plan against fault injectors, sleeping real time
 // between events; it returns when the last event has fired. kill and
 // restart receive the victim backend. Tests with fake clocks can walk
-// Events directly instead.
+// Events directly instead (verify.sh's short deterministic chaos mode
+// does exactly that; see TestChaosPlanFakeClockWalk).
 func (p *ChaosPlan) Run(kill, restart func(backend string)) {
 	start := time.Now()
 	for _, ev := range p.Events {

@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// walkChaosPlan replays a plan against a simulated fleet on a fake
+// clock — the deterministic stand-in for the real-process soak — and
+// fails the test on any physically impossible transition: a kill of an
+// already-dead backend, a restart of a live one, time running
+// backwards, or more than maxDown backends dead at once (maxDown ≤ 0
+// skips that check). It returns the peak concurrent downtime.
+func walkChaosPlan(t *testing.T, p *ChaosPlan, backends []string, maxDown int) int {
+	t.Helper()
+	up := map[string]bool{}
+	for _, b := range backends {
+		up[b] = true
+	}
+	clock := time.Duration(-1)
+	down, peak := 0, 0
+	for i, ev := range p.Events {
+		if ev.At < clock {
+			t.Fatalf("seed %d event %d: time runs backwards (%v after %v)", p.Seed, i, ev.At, clock)
+		}
+		clock = ev.At
+		switch ev.Kind {
+		case "kill":
+			if !up[ev.Backend] {
+				t.Fatalf("seed %d event %d: second kill of %s before its restart", p.Seed, i, ev.Backend)
+			}
+			up[ev.Backend] = false
+			down++
+		case "restart":
+			if up[ev.Backend] {
+				t.Fatalf("seed %d event %d: restart of live backend %s", p.Seed, i, ev.Backend)
+			}
+			up[ev.Backend] = true
+			down--
+		default:
+			t.Fatalf("seed %d event %d: unknown kind %q", p.Seed, i, ev.Kind)
+		}
+		if down > peak {
+			peak = down
+		}
+		if maxDown > 0 && down > maxDown {
+			t.Fatalf("seed %d event %d: %d backends down at once (cap %d)", p.Seed, i, down, maxDown)
+		}
+	}
+	return peak
+}
+
+func chaosBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://shard-%d:1", i)
+	}
+	return out
+}
+
+// TestChaosPlanAlternation is the regression test for the kill/restart
+// scheduling bug: with a dense plan (many kills, small fleet, short
+// window) the old generator routinely scheduled a victim's second kill
+// inside its own restart window. Every generated plan must now be a
+// physically possible failure sequence across a spread of seeds.
+func TestChaosPlanAlternation(t *testing.T) {
+	backends := chaosBackends(3)
+	for seed := int64(0); seed < 200; seed++ {
+		p := NewChaosPlan(seed, ChaosConfig{
+			Backends: backends,
+			Kills:    8,
+			Window:   time.Second,
+			Restart:  true,
+		})
+		if got := len(p.Events); got != 16 {
+			t.Fatalf("seed %d: %d events, want 16 (8 kill+restart pairs)", seed, got)
+		}
+		walkChaosPlan(t, p, backends, 0)
+	}
+}
+
+// TestChaosPlanMaxDown checks the concurrent-downtime cap the soak
+// harness relies on (MaxDown = R-1 keeps one owner-set member alive).
+func TestChaosPlanMaxDown(t *testing.T) {
+	backends := chaosBackends(4)
+	for seed := int64(0); seed < 200; seed++ {
+		p := NewChaosPlan(seed, ChaosConfig{
+			Backends: backends,
+			Kills:    10,
+			Window:   time.Second,
+			Restart:  true,
+			Down:     300 * time.Millisecond,
+			MaxDown:  1,
+		})
+		walkChaosPlan(t, p, backends, 1)
+	}
+}
+
+// TestChaosPlanMaxDownBinds makes sure the cap is doing work: without
+// it, the dense shape above must overlap downtimes for some seed —
+// otherwise the MaxDown test would pass vacuously.
+func TestChaosPlanMaxDownBinds(t *testing.T) {
+	backends := chaosBackends(4)
+	for seed := int64(0); seed < 200; seed++ {
+		p := NewChaosPlan(seed, ChaosConfig{
+			Backends: backends,
+			Kills:    10,
+			Window:   time.Second,
+			Restart:  true,
+			Down:     300 * time.Millisecond,
+		})
+		if walkChaosPlan(t, p, backends, 0) > 1 {
+			return
+		}
+	}
+	t.Fatal("no seed produced overlapping downtimes; MaxDown test is vacuous")
+}
+
+// TestChaosPlanNoRestart: without restarts a kill is permanent, so
+// each backend dies at most once and the plan stops early when the
+// fleet is exhausted.
+func TestChaosPlanNoRestart(t *testing.T) {
+	backends := chaosBackends(3)
+	for seed := int64(0); seed < 50; seed++ {
+		p := NewChaosPlan(seed, ChaosConfig{
+			Backends: backends,
+			Kills:    5, // more than the fleet has backends
+			Window:   time.Second,
+		})
+		if got := len(p.Events); got != 3 {
+			t.Fatalf("seed %d: %d kills of a 3-backend fleet, want 3", seed, got)
+		}
+		seen := map[string]bool{}
+		for _, ev := range p.Events {
+			if ev.Kind != "kill" {
+				t.Fatalf("seed %d: unexpected %q event", seed, ev.Kind)
+			}
+			if seen[ev.Backend] {
+				t.Fatalf("seed %d: %s killed twice without restarts", seed, ev.Backend)
+			}
+			seen[ev.Backend] = true
+		}
+	}
+}
+
+// TestChaosPlanFakeClockWalk is the "short deterministic soak": the
+// exact plan shape the real-process soak in cmd/lowrank-gateway uses
+// (3 shards, R=2, MaxDown=1), walked on a fake clock. verify.sh runs
+// this under -race on every invocation; the real soak stays behind
+// -soak.
+func TestChaosPlanFakeClockWalk(t *testing.T) {
+	backends := chaosBackends(3)
+	p := NewChaosPlan(20260807, ChaosConfig{
+		Backends: backends,
+		Kills:    3,
+		Window:   12 * time.Second,
+		Restart:  true,
+		Down:     3 * time.Second,
+		MaxDown:  1,
+	})
+	if len(p.Events) != 6 {
+		t.Fatalf("%d events, want 6", len(p.Events))
+	}
+	walkChaosPlan(t, p, backends, 1)
+	kills := 0
+	for _, ev := range p.Events {
+		if ev.Kind == "kill" {
+			kills++
+		}
+	}
+	if kills != 3 {
+		t.Fatalf("%d kills, want 3", kills)
+	}
+}

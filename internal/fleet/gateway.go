@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -33,9 +34,22 @@ type GatewayConfig struct {
 	// Client performs the forwards (nil = &http.Client{} — per-request
 	// deadlines come from the inbound request context).
 	Client *http.Client
+	// RetryBudget is how many extra backoff passes over a key's
+	// candidate backends a request may spend after every candidate
+	// dial-failed, so a fleet-wide blip (all replicas mid-restart)
+	// rides out instead of surfacing as 502. Each backend sees at most
+	// RetryBudget+1 attempts per request. 0 = 2; negative disables
+	// retry passes (PR 7 single-walk behavior).
+	RetryBudget int
+	// RetryBase is the first inter-pass backoff delay; it doubles per
+	// pass with ±50% jitter, capped at 1s. 0 = 25ms.
+	RetryBase time.Duration
 	// Logf receives routing and health lines (nil = silent).
 	Logf func(format string, args ...interface{})
 }
+
+// maxRetryBackoff caps the per-pass backoff delay.
+const maxRetryBackoff = time.Second
 
 // Gateway is the fleet front door: it consistent-hashes each
 // submission's content key to its owning shard, forwards the request
@@ -49,8 +63,17 @@ type GatewayConfig struct {
 //   - 429/503 from the owner → spill over to the next distinct node,
 //     which typically peer-fills the factors from the owner's cache
 //     (cache reads bypass the job queue) instead of re-solving;
-//   - every candidate exhausted → 502, or the last backpressure
-//     response is relayed so the client sees the shard's Retry-After.
+//   - every candidate dial-failed → jittered exponential backoff and
+//     another pass over the (refreshed) candidates, up to RetryBudget
+//     passes;
+//   - budget exhausted → 502, or the last backpressure response is
+//     relayed so the client sees the shard's Retry-After.
+//
+// Identical submissions racing through the gateway coalesce: a
+// fleet-level singleflight keyed by the spec's content key holds
+// followers on the leader's forwarded flight, so N clients hitting the
+// same cold key produce one upstream request even across reroutes (the
+// shard's own singleflight then dedups across gateways).
 type Gateway struct {
 	ring    *Ring
 	health  *Health
@@ -60,9 +83,28 @@ type Gateway struct {
 	maxBody int64
 	logf    func(string, ...interface{})
 
+	// fullRing hashes over every configured backend, ignoring health
+	// evictions — the invariant placement. A submit answered from
+	// cache by a backend that is not the key's full-ring primary is a
+	// replica read: the owner-set copy (or a spillover peer fill)
+	// absorbed a primary failure.
+	fullRing *Ring
+
+	retryBudget int
+	retryBase   time.Duration
+
 	mu         sync.Mutex
 	routes     map[string]string // job id → backend
 	routeOrder []string
+	flights    map[string]*submitFlight // spec key → in-flight submit
+}
+
+// submitFlight is one coalesced submit: followers block on done, then
+// relay the leader's buffered result (or its error).
+type submitFlight struct {
+	done chan struct{}
+	res  *forwardResult
+	err  error
 }
 
 // NewGateway builds the gateway and its health checker. Call Start to
@@ -75,17 +117,32 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		cfg.Metrics = NewMetrics()
 	}
 	g := &Gateway{
-		ring:    NewRing(cfg.Replicas),
-		metrics: cfg.Metrics,
-		client:  cfg.Client,
-		maxBody: cfg.MaxBodyBytes,
-		logf:    cfg.Logf,
+		ring:        NewRing(cfg.Replicas),
+		fullRing:    NewRing(cfg.Replicas),
+		metrics:     cfg.Metrics,
+		client:      cfg.Client,
+		maxBody:     cfg.MaxBodyBytes,
+		retryBudget: cfg.RetryBudget,
+		retryBase:   cfg.RetryBase,
+		logf:        cfg.Logf,
+		flights:     map[string]*submitFlight{},
+	}
+	for _, b := range cfg.Backends {
+		g.fullRing.Add(b)
 	}
 	if g.client == nil {
 		g.client = &http.Client{}
 	}
 	if g.maxBody <= 0 {
 		g.maxBody = 64 << 20
+	}
+	if g.retryBudget == 0 {
+		g.retryBudget = 2
+	} else if g.retryBudget < 0 {
+		g.retryBudget = 0
+	}
+	if g.retryBase <= 0 {
+		g.retryBase = 25 * time.Millisecond
 	}
 	if g.logf == nil {
 		g.logf = func(string, ...interface{}) {}
@@ -212,30 +269,64 @@ func backpressure(code int) bool {
 
 // forwardSequence walks candidates: dial errors reroute to the next
 // node, backpressure spills over; the first real answer wins. The last
-// backpressure reply is relayed if every candidate pushes back.
-func (g *Gateway) forwardSequence(r *http.Request, candidates []string, body []byte) (*forwardResult, error) {
-	var lastPressure *forwardResult
-	for i, backend := range candidates {
-		res, err := g.forwardOnce(r, backend, body)
-		if err != nil {
-			g.logf("fleet: forward to %s failed: %v", backend, err)
-			if i < len(candidates)-1 {
-				g.metrics.Rerouted()
+// backpressure reply is relayed if every candidate pushes back. When
+// every candidate dial-fails — a fleet-wide blip, not one sick shard —
+// the gateway spends its retry budget: jittered exponential backoff,
+// refresh the candidate list (evictions and readmissions land between
+// passes), and walk again. refresh may be nil (retry the same list).
+func (g *Gateway) forwardSequence(r *http.Request, candidates []string, body []byte, refresh func() []string) (*forwardResult, error) {
+	backoff := g.retryBase
+	for pass := 0; ; pass++ {
+		var lastPressure *forwardResult
+		for i, backend := range candidates {
+			res, err := g.forwardOnce(r, backend, body)
+			if err != nil {
+				g.logf("fleet: forward to %s failed: %v", backend, err)
+				if i < len(candidates)-1 {
+					g.metrics.Rerouted()
+				}
+				continue
 			}
-			continue
+			if backpressure(res.code) && i < len(candidates)-1 {
+				g.metrics.Spillover()
+				lastPressure = res
+				continue
+			}
+			return res, nil
 		}
-		if backpressure(res.code) && i < len(candidates)-1 {
-			g.metrics.Spillover()
-			lastPressure = res
-			continue
+		if lastPressure != nil {
+			return lastPressure, nil
 		}
-		return res, nil
+		if pass >= g.retryBudget {
+			break
+		}
+		g.metrics.RetryPass()
+		select {
+		case <-time.After(jitteredBackoff(backoff)):
+		case <-r.Context().Done():
+			g.metrics.NoBackend()
+			return nil, fmt.Errorf("fleet: canceled during retry backoff: %w", r.Context().Err())
+		}
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+		if refresh != nil {
+			if c := refresh(); len(c) > 0 {
+				candidates = c
+			}
+		}
 	}
-	if lastPressure != nil {
-		return lastPressure, nil
+	if g.retryBudget > 0 {
+		g.metrics.RetryBudgetExhausted()
 	}
 	g.metrics.NoBackend()
-	return nil, fmt.Errorf("fleet: no reachable backend (tried %d)", len(candidates))
+	return nil, fmt.Errorf("fleet: no reachable backend (tried %d candidates over %d passes)", len(candidates), g.retryBudget+1)
+}
+
+// jitteredBackoff spreads d uniformly over [d/2, 3d/2) so concurrent
+// retriers don't re-dial a recovering fleet in lockstep.
+func jitteredBackoff(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // relay writes a buffered backend reply to the client.
@@ -264,7 +355,9 @@ func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 	return body, true
 }
 
-// handleSubmit routes one job to its content key's ring owner.
+// handleSubmit routes one job to its content key's ring owner,
+// coalescing concurrent identical submissions onto one upstream
+// flight.
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, ok := g.readBody(w, r)
 	if !ok {
@@ -279,26 +372,91 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	candidates := g.ring.OwnerSequence(spec.Key(), 0)
-	if len(candidates) == 0 {
-		g.metrics.NoBackend()
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("fleet: every backend is down"))
+	key := spec.Key()
+
+	fl, leader := g.joinFlight(key)
+	if !leader {
+		// Follower: ride the leader's flight. The leader's ?wait (and
+		// deadline) governs the shared upstream call; since identical
+		// specs resolve to the same job, the relayed view is what this
+		// client's own forward would have returned. Leader failure
+		// (502) is relayed too — the client retries, now likely as a
+		// leader.
+		g.metrics.CoalesceHit()
+		select {
+		case <-fl.done:
+		case <-r.Context().Done():
+			writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: canceled waiting on coalesced flight: %w", r.Context().Err()))
+			return
+		}
+		if fl.err != nil {
+			writeError(w, http.StatusBadGateway, fl.err)
+			return
+		}
+		relay(w, fl.res)
 		return
 	}
-	res, err := g.forwardSequence(r, candidates, body)
+
+	res, err := g.submitOnce(r, key, body)
+	g.finishFlight(key, fl, res, err)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, err)
 		return
 	}
+	relay(w, res)
+}
+
+// submitOnce performs the actual forward walk for one submission and
+// does the accounting on its reply (route memory, replica-read
+// detection).
+func (g *Gateway) submitOnce(r *http.Request, key string, body []byte) (*forwardResult, error) {
+	refresh := func() []string { return g.ring.OwnerSequence(key, 0) }
+	candidates := refresh()
+	if len(candidates) == 0 {
+		g.metrics.NoBackend()
+		return nil, fmt.Errorf("fleet: every backend is down")
+	}
+	res, err := g.forwardSequence(r, candidates, body, refresh)
+	if err != nil {
+		return nil, err
+	}
 	if res.code < 300 {
 		var sub struct {
-			ID string `json:"id"`
+			ID     string `json:"id"`
+			Cached bool   `json:"cached"`
 		}
 		if json.Unmarshal(res.body, &sub) == nil {
 			g.rememberRoute(sub.ID, res.backend)
+			if primary, ok := g.fullRing.Owner(key); ok && primary != res.backend && sub.Cached {
+				// Answered from cache by a non-primary: the owner-set
+				// replica (or a peer fill) covered for the primary.
+				g.metrics.ReplicaRead()
+			}
 		}
 	}
-	relay(w, res)
+	return res, nil
+}
+
+// joinFlight returns the submit flight for key, creating it (leader =
+// true) if none is in progress.
+func (g *Gateway) joinFlight(key string) (*submitFlight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.flights[key]; ok {
+		return fl, false
+	}
+	fl := &submitFlight{done: make(chan struct{})}
+	g.flights[key] = fl
+	return fl, true
+}
+
+// finishFlight publishes the leader's outcome and releases followers.
+func (g *Gateway) finishFlight(key string, fl *submitFlight, res *forwardResult, err error) {
+	fl.res, fl.err = res, err
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(fl.done)
 }
 
 // batchEnvelope mirrors serve's batch request/response shapes closely
@@ -379,8 +537,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 				sub.Jobs[j] = m.raw
 			}
 			subBody, _ := json.Marshal(sub)
-			seq := g.failoverFrom(owner)
-			res, err := g.forwardSequence(r, seq, subBody)
+			res, err := g.forwardSequence(r, g.failoverFrom(owner), subBody, func() []string { return g.failoverFrom(owner) })
 			replies[i] = shardReply{owner, ms, res, err}
 		}(i, owner)
 	}
@@ -472,13 +629,14 @@ func (g *Gateway) handleJobProxy(w http.ResponseWriter, r *http.Request) {
 // gateway.
 func (g *Gateway) handleCacheProxy(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	candidates := g.ring.OwnerSequence(key, 0)
+	refresh := func() []string { return g.ring.OwnerSequence(key, 0) }
+	candidates := refresh()
 	if len(candidates) == 0 {
 		g.metrics.NoBackend()
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("fleet: every backend is down"))
 		return
 	}
-	res, err := g.forwardSequence(r, candidates, nil)
+	res, err := g.forwardSequence(r, candidates, nil, refresh)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, err)
 		return

@@ -403,7 +403,12 @@ func TestPeerClientFill(t *testing.T) {
 	key := specKey(t, 7)
 
 	self := "http://self.invalid:1"
-	pc := NewPeerClient([]string{owner.ts.URL, self}, self, time.Second, t.Logf)
+	pc := NewPeerClient(PeerConfig{
+		Peers:   []string{owner.ts.URL, self},
+		Self:    self,
+		Timeout: time.Second,
+		Logf:    t.Logf,
+	})
 	if o, _ := pc.ring.Owner(key); o == self {
 		t.Skip("key owned by self under this ring; peer fill not exercised")
 	}

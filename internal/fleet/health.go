@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -20,6 +21,13 @@ type HealthConfig struct {
 	// MaxBackoff caps the probe backoff for an evicted backend
 	// (0 = 30s). Backoff doubles from Interval per failed probe.
 	MaxBackoff time.Duration
+	// Jitter spreads each probe tick uniformly over
+	// Interval × [1-Jitter, 1+Jitter], so multiple gateway instances
+	// started together drift apart instead of synchronizing their
+	// probes — a thundering herd of simultaneous /healthz hits is the
+	// last thing a just-restarted shard needs. 0 = 0.1; negative
+	// disables jitter (fixed Interval, for deterministic tests).
+	Jitter float64
 	// Probe overrides the HTTP health probe (tests inject outcomes).
 	// nil = GET {backend}/healthz, healthy on 200.
 	Probe func(ctx context.Context, backend string) error
@@ -73,6 +81,11 @@ func NewHealth(ring *Ring, backends []string, cfg HealthConfig) *Health {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 30 * time.Second
 	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.1
+	} else if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
 	if cfg.Probe == nil {
 		cfg.Probe = httpProbe
 	}
@@ -123,17 +136,28 @@ func (h *Health) Stop() {
 
 func (h *Health) loop() {
 	defer close(h.done)
-	ticker := time.NewTicker(h.cfg.Interval)
-	defer ticker.Stop()
 	h.probeAll() // immediate first pass so a dead backend never serves
+	timer := time.NewTimer(h.jitteredInterval())
+	defer timer.Stop()
 	for {
 		select {
 		case <-h.stop:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 			h.probeAll()
+			timer.Reset(h.jitteredInterval())
 		}
 	}
+}
+
+// jitteredInterval draws the next probe delay from
+// Interval × [1-Jitter, 1+Jitter].
+func (h *Health) jitteredInterval() time.Duration {
+	if h.cfg.Jitter <= 0 {
+		return h.cfg.Interval
+	}
+	f := 1 + h.cfg.Jitter*(2*rand.Float64()-1)
+	return time.Duration(float64(h.cfg.Interval) * f)
 }
 
 // probeAll probes every due backend once, concurrently.

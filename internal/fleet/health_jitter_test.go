@@ -1,0 +1,38 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHealthJitteredInterval pins the jitter contract: draws stay in
+// Interval × [1-J, 1+J], actually vary (no synchronized probes), and
+// a negative Jitter disables them for deterministic tests.
+func TestHealthJitteredInterval(t *testing.T) {
+	ring := NewRing(0)
+	h := NewHealth(ring, nil, HealthConfig{Interval: time.Second})
+	if h.cfg.Jitter != 0.1 {
+		t.Fatalf("default jitter = %v, want 0.1", h.cfg.Jitter)
+	}
+	lo, hi := 900*time.Millisecond, 1100*time.Millisecond
+	varied := false
+	for i := 0; i < 200; i++ {
+		d := h.jitteredInterval()
+		if d < lo || d > hi {
+			t.Fatalf("draw %v outside [%v, %v]", d, lo, hi)
+		}
+		if d != time.Second {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("200 draws all exactly Interval; jitter inert")
+	}
+
+	fixed := NewHealth(ring, nil, HealthConfig{Interval: time.Second, Jitter: -1})
+	for i := 0; i < 10; i++ {
+		if d := fixed.jitteredInterval(); d != time.Second {
+			t.Fatalf("Jitter<0 drew %v, want exactly Interval", d)
+		}
+	}
+}

@@ -24,6 +24,11 @@ type Metrics struct {
 	evictions uint64 // backends removed from the ring
 	readmits  uint64 // backends restored to the ring
 	noBackend uint64 // requests failed with every backend down
+
+	coalesceHits   uint64 // submits that joined an identical in-flight submit
+	retryPasses    uint64 // backoff passes spent after a whole-candidate-list dial failure
+	retryExhausted uint64 // requests that burned their whole retry budget
+	replicaReads   uint64 // cached submits answered by a non-primary owner
 }
 
 type latencyAgg struct {
@@ -80,6 +85,28 @@ func (m *Metrics) RingChange(healthy bool) {
 // NoBackend records a request that exhausted every candidate backend.
 func (m *Metrics) NoBackend() { m.mu.Lock(); m.noBackend++; m.mu.Unlock() }
 
+// CoalesceHit records a submit that rode an identical in-flight
+// submit's forward instead of producing its own.
+func (m *Metrics) CoalesceHit() { m.mu.Lock(); m.coalesceHits++; m.mu.Unlock() }
+
+// RetryPass records one backoff-then-rewalk pass after every candidate
+// dial-failed; RetryBudgetExhausted a request that spent its whole
+// budget without reaching a backend.
+func (m *Metrics) RetryPass()            { m.mu.Lock(); m.retryPasses++; m.mu.Unlock() }
+func (m *Metrics) RetryBudgetExhausted() { m.mu.Lock(); m.retryExhausted++; m.mu.Unlock() }
+
+// ReplicaRead records a submit answered from cache by a backend that
+// is not the key's full-ring primary — the owner-set replica (or a
+// peer fill) covering for a dead or evicted primary.
+func (m *Metrics) ReplicaRead() { m.mu.Lock(); m.replicaReads++; m.mu.Unlock() }
+
+// CoalesceSnapshot returns (coalesce hits, replica reads) for tests.
+func (m *Metrics) CoalesceSnapshot() (coalesced, replicaReads uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coalesceHits, m.replicaReads
+}
+
 // Gauges carries the live values sampled at render time.
 type Gauges struct {
 	RingSize int
@@ -133,6 +160,18 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP lowrank_gateway_unroutable_total Requests failed with every backend down.\n")
 	fmt.Fprintf(w, "# TYPE lowrank_gateway_unroutable_total counter\n")
 	fmt.Fprintf(w, "lowrank_gateway_unroutable_total %d\n", m.noBackend)
+	fmt.Fprintf(w, "# HELP lowrank_gateway_coalesced_total Submits that joined an identical in-flight submit.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_coalesced_total counter\n")
+	fmt.Fprintf(w, "lowrank_gateway_coalesced_total %d\n", m.coalesceHits)
+	fmt.Fprintf(w, "# HELP lowrank_gateway_retry_passes_total Backoff passes after every candidate dial-failed.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_retry_passes_total counter\n")
+	fmt.Fprintf(w, "lowrank_gateway_retry_passes_total %d\n", m.retryPasses)
+	fmt.Fprintf(w, "# HELP lowrank_gateway_retry_exhausted_total Requests that spent their whole retry budget.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_retry_exhausted_total counter\n")
+	fmt.Fprintf(w, "lowrank_gateway_retry_exhausted_total %d\n", m.retryExhausted)
+	fmt.Fprintf(w, "# HELP lowrank_gateway_replica_reads_total Cached submits answered by a non-primary owner-set member.\n")
+	fmt.Fprintf(w, "# TYPE lowrank_gateway_replica_reads_total counter\n")
+	fmt.Fprintf(w, "lowrank_gateway_replica_reads_total %d\n", m.replicaReads)
 
 	fmt.Fprintf(w, "# HELP lowrank_gateway_ring_size Backends currently in the ring.\n")
 	fmt.Fprintf(w, "# TYPE lowrank_gateway_ring_size gauge\n")

@@ -160,6 +160,21 @@ func (r *Ring) OwnerSequence(key string, n int) []string {
 	return seq
 }
 
+// OwnerSet returns a key's replicated owner set: the first r distinct
+// backends of the OwnerSequence failover order, so OwnerSet(key, 1)
+// equals {Owner(key)} and larger r extends along the exact path a
+// gateway walks when the primary is unreachable. Replica placement is
+// therefore a pure function of (member set, key): every shard and
+// gateway derives the same set with no coordination, and a replica is
+// always where failover traffic lands next. r ≤ 1 returns just the
+// primary; r beyond the member count returns every member.
+func (r *Ring) OwnerSet(key string, n int) []string {
+	if n < 1 {
+		n = 1
+	}
+	return r.OwnerSequence(key, n)
+}
+
 // Members returns the current member set, sorted.
 func (r *Ring) Members() []string {
 	snap := r.snapshot()

@@ -210,7 +210,26 @@ func (c *DiskCache) Put(key string, ap *core.Approximation) {
 		c.logf("serve: disk cache: encoding %s: %v", key, err)
 		return
 	}
-	size := int64(buf.Len())
+	c.storeFrame(key, buf.Bytes())
+}
+
+// PutFrame persists an already-encoded frame under key — the inbound
+// half of fleet replication, where the wire format is the disk format
+// and re-encoding a decoded frame would only burn CPU to produce the
+// same bytes. The caller must have validated the frame (the PUT
+// /v1/cache handler decodes it first); PutFrame itself only guards the
+// key shape and budget.
+func (c *DiskCache) PutFrame(key string, frame []byte) {
+	if c == nil || len(frame) == 0 || !isCacheKey(key) {
+		return
+	}
+	c.storeFrame(key, frame)
+}
+
+// storeFrame writes one frame via temp-file + atomic rename and
+// updates the LRU index, evicting down to budget.
+func (c *DiskCache) storeFrame(key string, frame []byte) {
+	size := int64(len(frame))
 	if c.budget > 0 && size > c.budget {
 		return
 	}
@@ -221,7 +240,7 @@ func (c *DiskCache) Put(key string, ap *core.Approximation) {
 		c.logf("serve: disk cache: temp file for %s: %v", key, err)
 		return
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	if _, err := tmp.Write(frame); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		c.logf("serve: disk cache: writing %s: %v", key, err)

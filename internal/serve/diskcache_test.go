@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"sparselr/internal/core"
@@ -229,5 +230,93 @@ func TestDiskCachePoisonedFileRecovery(t *testing.T) {
 	}
 	if st := c2.Stats(); st.Dropped != 3 || st.Entries != 0 {
 		t.Fatalf("stats after read-path poison = %+v", st)
+	}
+}
+
+// TestDiskCacheEvictionRacesReads hammers a tiny-budget cache with a
+// writer that forces an eviction on nearly every Put while readers spin
+// over the same key set. The contract under contention: a concurrent
+// read of an evicted key is a clean miss, never a corrupt frame; every
+// successful read decodes to exactly what that key last held; and the
+// index, byte accounting, and directory agree once the dust settles.
+// Run under -race (verify.sh does) to also catch lock-discipline
+// regressions around the shared LRU state.
+func TestDiskCacheEvictionRacesReads(t *testing.T) {
+	var probe bytes.Buffer
+	if err := EncodeApproximation(&probe, testAp(1)); err != nil {
+		t.Fatal(err)
+	}
+	frame := int64(probe.Len())
+	// Room for two entries plus slack: with eight keys in rotation,
+	// almost every Put evicts the tail out from under the readers.
+	c, err := OpenDiskCache(t.TempDir(), frame*2+frame/2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 8
+	const writes = 400
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i % keys
+				// Each key only ever holds testAp(k+1), so any hit is
+				// fully checkable.
+				if ap, ok := c.Get(testKey(k)); ok && ap.NormA != float64(k+1) {
+					t.Errorf("Get(%s) decoded NormA=%g, want %d", testKey(k)[:8], ap.NormA, k+1)
+					return
+				}
+				if fr, ok := c.ReadFrame(testKey(k)); ok {
+					ap, err := DecodeApproximation(bytes.NewReader(fr))
+					if err != nil || ap.NormA != float64(k+1) {
+						t.Errorf("ReadFrame(%s) frame invalid: %v", testKey(k)[:8], err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < writes; i++ {
+		k := i % keys
+		c.Put(testKey(k), testAp(k+1))
+	}
+	close(stop)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("evictions surfaced as corruption: %d entries dropped", st.Dropped)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions happened: the budget is too loose for this test to mean anything")
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("resident bytes %d exceed budget %d after settle", st.Bytes, st.Budget)
+	}
+	if got := len(c.Keys()); got != st.Entries {
+		t.Fatalf("index order holds %d keys, stats say %d entries", got, st.Entries)
+	}
+	// Directory and index agree: evicted files are gone, resident files
+	// all indexed, no temp leftovers.
+	files, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != st.Entries {
+		t.Fatalf("directory holds %d files, index %d entries", len(files), st.Entries)
+	}
+	for _, k := range c.Keys() {
+		if ap, ok := c.Get(k); !ok || ap == nil {
+			t.Fatalf("resident key %s unreadable after settle", k[:8])
+		}
 	}
 }

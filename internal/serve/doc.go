@@ -24,12 +24,17 @@
 //     corrupt or truncated files — a crash mid-rename — are deleted and
 //     logged at open, never trusted and never fatal;
 //   - a PeerFillFunc (wired by internal/fleet) lets a worker fetch an
-//     already-computed result from the key's ring owner over
+//     already-computed result from the key's owners over
 //     GET /v1/cache/{key} before solving locally; any failure falls
-//     back to the local solve.
+//     back to the local solve. The inverse hook, ReplicateFunc, pushes
+//     each fresh solve toward the key's other owner-set members, and
+//     the PUT /v1/cache/{key} endpoint accepts those frames
+//     (checksum-validated, then installed into both tiers) so a dead
+//     owner's keys stay warm on its replicas.
 //
 // Admission order is memory cache → singleflight → disk tier → queue;
-// peer fill runs worker-side, after a job is admitted and started.
+// peer fill runs worker-side, after a job is admitted and started, and
+// replication runs after a fresh solve settles.
 //
 // Admission is a bounded queue: when it is full, Submit fails with
 // ErrQueueFull and the HTTP layer answers 429 with a Retry-After hint;

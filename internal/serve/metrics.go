@@ -27,6 +27,18 @@ type Metrics struct {
 	peerFillHits   uint64 // solves avoided by fetching from the ring owner
 	peerFillMisses uint64 // peer-fill attempts that fell back to a local solve
 
+	peerReplicaHits uint64 // peer fills served by a non-primary owner-set member
+
+	replicaStores       uint64 // replicated frames accepted over PUT /v1/cache
+	replicaStoreRejects uint64 // PUT frames rejected (bad key or frame)
+
+	replicaPushes     uint64  // replication PUTs delivered to owner-set peers
+	replicaPushFails  uint64  // replication PUTs that failed (peer down, timeout)
+	replicaDropped    uint64  // solves whose replication was dropped (queue full)
+	replicaPending    int64   // gauge: solves queued for replication, not yet pushed
+	replicaLagSeconds float64 // total solve-to-replicated delay
+	replicaLagCount   uint64
+
 	batchesEnqueued uint64 // carrier jobs admitted by SubmitBatch
 	batchesRun      uint64 // carrier jobs executed by a worker
 	batchMembers    uint64 // member jobs solved inside a batch
@@ -88,6 +100,60 @@ func (m *Metrics) DiskHit() { m.mu.Lock(); m.diskHits++; m.mu.Unlock() }
 // failed) and fell back to solving locally.
 func (m *Metrics) PeerFillHit()  { m.mu.Lock(); m.peerFillHits++; m.mu.Unlock() }
 func (m *Metrics) PeerFillMiss() { m.mu.Lock(); m.peerFillMisses++; m.mu.Unlock() }
+
+// PeerReplicaHit records a peer fill served by a replica owner after
+// the primary missed or was unreachable (counted on top of
+// PeerFillHit, which tracks the overall outcome).
+func (m *Metrics) PeerReplicaHit() { m.mu.Lock(); m.peerReplicaHits++; m.mu.Unlock() }
+
+// ReplicaStore records an inbound replicated frame on PUT /v1/cache:
+// accepted and installed when ok, rejected (bad key/frame) otherwise.
+func (m *Metrics) ReplicaStore(ok bool) {
+	m.mu.Lock()
+	if ok {
+		m.replicaStores++
+	} else {
+		m.replicaStoreRejects++
+	}
+	m.mu.Unlock()
+}
+
+// ReplicaPush records one outbound replication PUT to an owner-set
+// peer, delivered or failed.
+func (m *Metrics) ReplicaPush(ok bool) {
+	m.mu.Lock()
+	if ok {
+		m.replicaPushes++
+	} else {
+		m.replicaPushFails++
+	}
+	m.mu.Unlock()
+}
+
+// ReplicationQueued / ReplicationSettled move the pending-replication
+// gauge as solves enter and leave the async push queue;
+// ReplicationDropped records a solve whose replication was shed because
+// the queue was full.
+func (m *Metrics) ReplicationQueued()  { m.mu.Lock(); m.replicaPending++; m.mu.Unlock() }
+func (m *Metrics) ReplicationDropped() { m.mu.Lock(); m.replicaDropped++; m.mu.Unlock() }
+
+// ReplicationSettled records one queued solve fully pushed (or given
+// up on), with the solve-to-replicated lag.
+func (m *Metrics) ReplicationSettled(lag time.Duration) {
+	m.mu.Lock()
+	m.replicaPending--
+	m.replicaLagSeconds += lag.Seconds()
+	m.replicaLagCount++
+	m.mu.Unlock()
+}
+
+// ReplicationSnapshot returns (pushes, failures, pending) for tests
+// and soak-harness quiescence checks.
+func (m *Metrics) ReplicationSnapshot() (pushes, fails uint64, pending int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replicaPushes, m.replicaPushFails, m.replicaPending
+}
 
 // Rejected records a queue-full 429; DrainRejected a draining 503.
 func (m *Metrics) Rejected()      { m.mu.Lock(); m.rejections++; m.mu.Unlock() }
@@ -213,6 +279,16 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
 	counter("lowrankd_disk_cache_corrupt_total", "Corrupt/truncated cache files deleted at boot or read.", g.Disk.Dropped)
 	counter("lowrankd_peer_fill_hits_total", "Local solves avoided by fetching factors from the ring owner.", m.peerFillHits)
 	counter("lowrankd_peer_fill_misses_total", "Peer-fill attempts that fell back to a local solve.", m.peerFillMisses)
+	counter("lowrankd_peer_fill_replica_hits_total", "Peer fills served by a non-primary owner-set member.", m.peerReplicaHits)
+	counter("lowrankd_replica_stores_total", "Replicated frames accepted over PUT /v1/cache.", m.replicaStores)
+	counter("lowrankd_replica_store_rejects_total", "Replicated frames rejected (bad key or frame).", m.replicaStoreRejects)
+	counter("lowrankd_replication_pushes_total", "Replication PUTs delivered to owner-set peers.", m.replicaPushes)
+	counter("lowrankd_replication_push_failures_total", "Replication PUTs that failed.", m.replicaPushFails)
+	counter("lowrankd_replication_dropped_total", "Solves whose replication was shed (queue full).", m.replicaDropped)
+	gauge("lowrankd_replication_pending", "Solves queued for replication, not yet pushed.", float64(m.replicaPending))
+	fmt.Fprintf(w, "# HELP lowrankd_replication_lag_seconds Solve-to-replicated delay.\n# TYPE lowrankd_replication_lag_seconds summary\n")
+	fmt.Fprintf(w, "lowrankd_replication_lag_seconds_sum %g\n", m.replicaLagSeconds)
+	fmt.Fprintf(w, "lowrankd_replication_lag_seconds_count %d\n", m.replicaLagCount)
 	counter("lowrankd_batches_total", "Batch carrier jobs admitted.", m.batchesEnqueued)
 	counter("lowrankd_batches_run_total", "Batch carrier jobs executed.", m.batchesRun)
 	counter("lowrankd_batch_jobs_total", "Member jobs solved inside a batch.", m.batchMembers)

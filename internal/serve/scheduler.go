@@ -44,6 +44,14 @@ type SolveFunc func(spec *Spec, store *dist.CheckpointStore) (*core.Approximatio
 // local solve, so peer fill can only remove work, never correctness.
 type PeerFillFunc func(key string) (*core.Approximation, bool)
 
+// ReplicateFunc pushes a freshly solved result toward the other
+// members of its key's owner set (internal/fleet enqueues the frame
+// and PUTs it to the R-1 replica owners asynchronously). It is called
+// once per fresh solve, never for cache/peer hits, and must not block:
+// replication is bounded best-effort so a slow peer cannot stall
+// workers.
+type ReplicateFunc func(key string, ap *core.Approximation)
+
 // DefaultSolve materializes the matrix and runs the library entry
 // point.
 func DefaultSolve(spec *Spec, store *dist.CheckpointStore) (*core.Approximation, error) {
@@ -110,6 +118,7 @@ type SchedulerConfig struct {
 	Cache      *Cache        // nil = no result cache
 	Disk       *DiskCache    // nil = no persistent tier
 	PeerFill   PeerFillFunc  // nil = never ask peers
+	Replicate  ReplicateFunc // nil = no owner-set replication
 	Resume     *ResumeRegistry
 	Metrics    *Metrics // nil = a private unexported set
 }
@@ -476,6 +485,9 @@ func (s *Scheduler) settle(j *Job, ap *core.Approximation, err error, wall time.
 		}
 		if s.cfg.Resume != nil && store != nil {
 			s.cfg.Resume.Release(j.Key)
+		}
+		if s.cfg.Replicate != nil {
+			s.cfg.Replicate(j.Key, ap)
 		}
 		s.metrics.SolveDone(j.Spec.Method, wall, apVirtualTime(ap))
 		j.finish(StatusDone, ap, nil, time.Now())

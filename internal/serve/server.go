@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -36,6 +37,10 @@ type Config struct {
 	// fresh key locally (peer cache fill across a sharded fleet; see
 	// internal/fleet).
 	PeerFill PeerFillFunc
+	// Replicate, when set, receives every fresh solve so the fleet
+	// layer can push the result frame to the key's replica owners
+	// (owner-set replication; see internal/fleet).
+	Replicate ReplicateFunc
 
 	// MaxBodyBytes bounds uploaded request bodies (0 = 64 MiB).
 	MaxBodyBytes int64
@@ -57,6 +62,8 @@ type Config struct {
 //	GET    /v1/jobs/{id}/factors/{name}  factor as JSON or MatrixMarket
 //	GET    /v1/cache/{key}         framed factors by content key (peer
 //	                               cache fill; 404 on miss)
+//	PUT    /v1/cache/{key}         install a replicated factor frame
+//	                               (owner-set replication; 204 on accept)
 //	GET    /healthz                liveness (503 while draining)
 //	GET    /metrics                Prometheus text format
 type Server struct {
@@ -109,6 +116,7 @@ func NewServer(cfg Config) *Server {
 		Cache:      cache,
 		Disk:       cfg.Disk,
 		PeerFill:   cfg.PeerFill,
+		Replicate:  cfg.Replicate,
 		Resume:     cfg.Resume,
 		Metrics:    cfg.Metrics,
 	})
@@ -120,6 +128,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/factors/{name}", s.handleFactor)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheFetch)
+	s.mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -455,6 +464,46 @@ func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeError(w, http.StatusNotFound, fmt.Errorf("serve: no cached result for key %s", key))
+}
+
+// handleCachePut installs a replicated factor frame pushed by an
+// owner-set peer. The frame is fully decoded before anything is
+// stored, so a truncated or corrupt push can never poison a tier, and
+// because keys are content-addressed the write is idempotent: the
+// bytes under a key are the same no matter which shard produced them.
+// Accepted frames land in both the memory cache and the disk tier (raw
+// bytes, no re-encode) so the replica survives a restart — that
+// durability is the availability point of replication.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !isCacheKey(key) {
+		s.metrics.ReplicaStore(false)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: malformed cache key %q", key))
+		return
+	}
+	frame, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		s.metrics.ReplicaStore(false)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading frame: %v", err))
+		return
+	}
+	if int64(len(frame)) > s.maxBody {
+		s.metrics.ReplicaStore(false)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: frame exceeds %d bytes", s.maxBody))
+		return
+	}
+	ap, err := DecodeApproximation(bytes.NewReader(frame))
+	if err != nil {
+		s.metrics.ReplicaStore(false)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad frame: %v", err))
+		return
+	}
+	if s.cache != nil {
+		s.cache.Put(key, ap)
+	}
+	s.disk.PutFrame(key, frame)
+	s.metrics.ReplicaStore(true)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -29,13 +29,30 @@
 #  13. sketch micro-benchmarks -> BENCH_sketch.json (ns/op + allocs/op),
 #      asserting SparseSign apply >= 3x faster than Gaussian and
 #      0 allocs/op on the Gaussian/SparseSign apply paths
+#  14. (-soak / SOAK=1 only) chaos soak: 3 lowrankd shards with
+#      owner-set replication (R=2) behind the gateway, a seeded
+#      ChaosPlan SIGKILLing/restarting shards under a duplicate-heavy
+#      workload; asserts zero client-visible 5xx, exactly-once solving
+#      (metrics reconciliation) and warm-replica reads after every
+#      kill -> replica-read rate merged into BENCH_serve.json. The
+#      deterministic fake-clock walk of the same plan shape
+#      (TestChaosPlanFakeClockWalk) always runs in step 5 under -race;
+#      the soak adds the real-process run.
 #
 # Environment knobs:
 #   SKIP_BENCH=1    skip steps 9-13
+#   SOAK=1          run step 14 (also enabled by a -soak argument)
 #   BENCHTIME=...   per-benchmark budget for steps 11-13 (default 200ms)
-#   TESTTIMEOUT=... watchdog for steps 4-6 and 9-10 (default 10m)
+#   TESTTIMEOUT=... watchdog for steps 4-6, 9-10 and 14 (default 10m)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+for arg in "$@"; do
+    case "$arg" in
+        -soak|--soak) SOAK=1 ;;
+        *) echo "verify.sh: unknown argument $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "== gofmt -l"
 unformatted=$(gofmt -l .)
@@ -219,6 +236,14 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
         }
     ' > BENCH_sketch.json
     echo "wrote BENCH_sketch.json"
+fi
+
+if [[ "${SOAK:-0}" == "1" ]]; then
+    echo "== chaos soak (3 replicated shards + gateway, seeded SIGKILL plan)"
+    LOWRANK_SOAK=1 BENCH_SERVE_OUT="$PWD/BENCH_serve.json" \
+        go test -run '^TestFleetSoak$' -count=1 -timeout "${TESTTIMEOUT:-10m}" -v ./cmd/lowrank-gateway \
+        | grep -E '^(=== RUN|--- |ok|FAIL|    soak)'
+    echo "merged soak metrics into BENCH_serve.json"
 fi
 
 echo "verify.sh: OK"
