@@ -20,6 +20,7 @@ import (
 	"sparselr/internal/qrtp"
 	"sparselr/internal/randqb"
 	"sparselr/internal/randubv"
+	"sparselr/internal/sketch"
 	"sparselr/internal/sparse"
 )
 
@@ -307,6 +308,47 @@ func BenchmarkKernelSpMMT(b *testing.B) {
 	}
 }
 
+func BenchmarkKernelSpMMTSerial(b *testing.B) {
+	a := gen.Circuit(20000, 8, 2)
+	x := mat.NewDense(20000, 64)
+	for i := range x.Data {
+		x.Data[i] = float64(i%13) - 6
+	}
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulTDense(x)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
+// KernelSketchApply times the fused SparseSign apply A·Ω — the hot path
+// of every default solve — as one CSR traversal into a preallocated
+// destination (steady-state shape: no allocation, no separate zero pass).
+func BenchmarkKernelSketchApply(b *testing.B) {
+	a := gen.Circuit(20000, 8, 3)
+	blk := sketch.New(sketch.SparseSign, a.Cols, 1, 0).Next(64)
+	dst := mat.NewDense(a.Rows, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.MulCSRInto(dst, a)
+	}
+}
+
+func BenchmarkKernelSketchApplySerial(b *testing.B) {
+	a := gen.Circuit(20000, 8, 3)
+	blk := sketch.New(sketch.SparseSign, a.Cols, 1, 0).Next(64)
+	dst := mat.NewDense(a.Rows, 64)
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.MulCSRInto(dst, a)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
 func BenchmarkKernelSpGEMMLarge(b *testing.B) {
 	a := gen.Circuit(4000, 8, 2)
 	b.ResetTimer()
@@ -333,6 +375,63 @@ func BenchmarkKernelSpGEMM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sparse.SpGEMM(a, a)
 	}
+}
+
+// --- Solver-level end-to-end benchmarks ---
+//
+// KernelSolve* time whole factorizations on a Table I-class power-law
+// matrix (circuit topology + shaped spectrum), so the sparse-kernel
+// speedups are gated on what users feel, not just micro-kernels. The
+// Serial twins pin GOMAXPROCS=1 for verify.sh speedup ratios.
+
+func benchSolveMatrix() *sparse.CSR {
+	return gen.ShapeSpectrum(gen.Circuit(1200, 8, 3), 6, 0, 1, 13)
+}
+
+func BenchmarkKernelSolveRandQBEI(b *testing.B) {
+	a := benchSolveMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := randqb.Factor(a, randqb.Options{BlockSize: 32, Tol: 1e-2, Power: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSolveRandQBEISerial(b *testing.B) {
+	a := benchSolveMatrix()
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := randqb.Factor(a, randqb.Options{BlockSize: 32, Tol: 1e-2, Power: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
+func BenchmarkKernelSolveLUCRTP(b *testing.B) {
+	a := benchSolveMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lucrtp.Factor(a, lucrtp.Options{BlockSize: 32, Tol: 1e-2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSolveLUCRTPSerial(b *testing.B) {
+	a := benchSolveMatrix()
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lucrtp.Factor(a, lucrtp.Options{BlockSize: 32, Tol: 1e-2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
 }
 
 func BenchmarkKernelQRCP(b *testing.B) {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"sparselr/internal/fleet"
+	"sparselr/internal/profhttp"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		retryBudget   = flag.Int("retry-budget", 2, "extra backoff passes over a key's candidates after every one dial-failed (negative disables)")
 		retryBase     = flag.Duration("retry-base", 25*time.Millisecond, "first retry-backoff delay; doubles per pass with jitter, capped at 1s")
 		maxBody       = flag.Int64("max-body-bytes", 64<<20, "largest accepted request body")
+		pprofOn       = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints (off by default)")
 	)
 	flag.Parse()
 	if *backends == "" {
@@ -92,7 +94,12 @@ func main() {
 	fmt.Printf("lowrank-gateway: listening on %s (backends=%d replicas=%d)\n",
 		ln.Addr(), len(list), *replicas)
 
-	hs := &http.Server{Handler: gw}
+	var handler http.Handler = gw
+	if *pprofOn {
+		handler = profhttp.Wrap(handler)
+		fmt.Println("lowrank-gateway: /debug/pprof enabled")
+	}
+	hs := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 

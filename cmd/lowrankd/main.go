@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"sparselr/internal/fleet"
+	"sparselr/internal/profhttp"
 	"sparselr/internal/serve"
 )
 
@@ -69,6 +70,7 @@ func main() {
 		self         = flag.String("self", "", "this shard's own base URL within -peers (required with -peers)")
 		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "peer cache-fill fetch timeout")
 		replication  = flag.Int("replication", 1, "owner-set size R: fresh solves replicate to R-1 successor owners (needs -peers)")
+		pprofOn      = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints (off by default)")
 	)
 	flag.Parse()
 	if *workers <= 0 || *queueDepth <= 0 || *maxBody <= 0 {
@@ -152,7 +154,12 @@ func main() {
 	fmt.Printf("lowrankd: listening on %s (workers=%d queue=%d cache=%dB)\n",
 		ln.Addr(), *workers, *queueDepth, max64(budget, 0))
 
-	hs := &http.Server{Handler: srv}
+	var handler http.Handler = srv
+	if *pprofOn {
+		handler = profhttp.Wrap(handler)
+		fmt.Println("lowrankd: /debug/pprof enabled")
+	}
+	hs := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 

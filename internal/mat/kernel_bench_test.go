@@ -88,6 +88,31 @@ func BenchmarkKernelMulTSerial(b *testing.B) {
 	runtime.GOMAXPROCS(old)
 }
 
+// KernelMulTWide exercises the column-parallel MulT path: at 512 output
+// columns (≥ mulTParallelMinCols) the per-worker re-read of a amortizes
+// over enough column chunks for parallel to win, whereas the 128-column
+// KernelMulT shape intentionally stays on the serial path.
+func BenchmarkKernelMulTWide(b *testing.B) {
+	x := randDense(2048, 128, 1)
+	y := randDense(2048, 512, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulT(x, y)
+	}
+}
+
+func BenchmarkKernelMulTWideSerial(b *testing.B) {
+	x := randDense(2048, 128, 1)
+	y := randDense(2048, 512, 2)
+	old := runtime.GOMAXPROCS(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulT(x, y)
+	}
+	b.StopTimer()
+	runtime.GOMAXPROCS(old)
+}
+
 func BenchmarkKernelMulBT(b *testing.B) {
 	x := randDense(128, 2048, 3)
 	y := randDense(128, 2048, 4)

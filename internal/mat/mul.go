@@ -199,9 +199,16 @@ func gemmSerial(dst, a, b *Dense, alpha float64, lo, hi int) {
 
 // mulTParallelThreshold is the multiply-add count below which MulT runs
 // serially; mulTColGrain is the number of output columns per chunk.
+// mulTParallelMinCols additionally keeps MulT serial when b is narrow:
+// the parallel path splits b's columns, so every worker re-reads all of
+// a — with few column chunks to amortize that over, the re-read traffic
+// eats the speedup (measured 0.98× at 2048×128·128×128). Retune by
+// running BenchmarkKernelMulT / BenchmarkKernelMulTWide and their Serial
+// twins on ≥4 CPUs and moving the boundary to where parallel first wins.
 const (
 	mulTParallelThreshold = 1 << 16
 	mulTColGrain          = 16
+	mulTParallelMinCols   = 256
 )
 
 // MulT returns aᵀ·b without forming the transpose explicitly. The parallel
@@ -231,7 +238,7 @@ func MulTInto(dst, a, b *Dense) {
 // serial/parallel branching for both MulT and MulTInto.
 func mulTInto(out, a, b *Dense) {
 	work := a.Rows * a.Cols * b.Cols
-	if work < mulTParallelThreshold || runtime.GOMAXPROCS(0) < 2 || b.Cols < 2*mulTColGrain {
+	if work < mulTParallelThreshold || runtime.GOMAXPROCS(0) < 2 || b.Cols < mulTParallelMinCols {
 		mulTCols(out, a, b, 0, b.Cols)
 		return
 	}

@@ -1,0 +1,41 @@
+// Package profhttp mounts the net/http/pprof handlers in front of an
+// existing HTTP handler without touching http.DefaultServeMux, so the
+// daemons can expose /debug/pprof behind an explicit opt-in flag. The
+// endpoints allow CPU/heap/mutex profiling of fleet hot paths in place
+// (`go tool pprof http://shard:port/debug/pprof/profile`); they are off
+// by default because profiles can stall a loaded process and leak
+// operational detail.
+package profhttp
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Wrap returns a handler that serves the /debug/pprof tree itself and
+// forwards every other request to next. Routing is by path prefix, so it
+// composes with handlers (like the daemon and gateway) that are not
+// ServeMuxes.
+func Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/debug/pprof") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch r.URL.Path {
+		case "/debug/pprof/cmdline":
+			pprof.Cmdline(w, r)
+		case "/debug/pprof/profile":
+			pprof.Profile(w, r)
+		case "/debug/pprof/symbol":
+			pprof.Symbol(w, r)
+		case "/debug/pprof/trace":
+			pprof.Trace(w, r)
+		default:
+			// Index also serves the named profiles (heap, goroutine,
+			// block, mutex, allocs, threadcreate) by path suffix.
+			pprof.Index(w, r)
+		}
+	})
+}

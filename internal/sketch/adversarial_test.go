@@ -1,0 +1,84 @@
+package sketch
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"sparselr/internal/mat"
+	"sparselr/internal/sparse"
+)
+
+func withMaxProcs(p int, fn func()) {
+	old := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// The fused SparseSign apply zeroes and fills each output row inside the
+// nnz-balanced traversal, so its result must stay bitwise independent of
+// GOMAXPROCS even on row distributions chosen to break the partitioner:
+// long runs of empty rows (whose output rows must still be zeroed by
+// whatever chunk owns them) and one hub row holding most of the nonzeros.
+func TestSparseSignFusedApplyAdversarialBitwise(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  func() *sparse.CSR
+	}{
+		{"EmptyRows", func() *sparse.CSR {
+			rng := rand.New(rand.NewSource(21))
+			b := sparse.NewBuilder(1600, 500)
+			for i := 0; i < 1600; i += 50 {
+				for j := 0; j < 500; j += 2 {
+					b.Add(i, j, rng.NormFloat64())
+				}
+			}
+			return b.ToCSR()
+		}},
+		{"OneDenseRow", func() *sparse.CSR {
+			rng := rand.New(rand.NewSource(22))
+			b := sparse.NewBuilder(1200, 700)
+			for j := 0; j < 700; j++ {
+				b.Add(600, j, rng.NormFloat64())
+			}
+			for i := 0; i < 1200; i++ {
+				b.Add(i, rng.Intn(700), rng.NormFloat64())
+			}
+			return b.ToCSR()
+		}},
+		{"LastRowHeavy", func() *sparse.CSR {
+			rng := rand.New(rand.NewSource(23))
+			b := sparse.NewBuilder(1000, 600)
+			for j := 0; j < 600; j++ {
+				b.Add(999, j, rng.NormFloat64())
+			}
+			b.Add(0, 0, 1)
+			return b.ToCSR()
+		}},
+	}
+	for _, tc := range gens {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.gen()
+			blk := New(SparseSign, a.Cols, 5, 0).Next(24)
+			serial := mat.NewDense(a.Rows, 24)
+			// Poison the destination so a row skipped by the fused zeroing
+			// shows up as a mismatch instead of silently reading zeros.
+			for i := range serial.Data {
+				serial.Data[i] = 1e300
+			}
+			withMaxProcs(1, func() { blk.MulCSRInto(serial, a) })
+			for _, p := range []int{1, 2, 8} {
+				got := mat.NewDense(a.Rows, 24)
+				for i := range got.Data {
+					got.Data[i] = -1e300
+				}
+				withMaxProcs(p, func() { blk.MulCSRInto(got, a) })
+				for i := range got.Data {
+					if got.Data[i] != serial.Data[i] {
+						t.Fatalf("GOMAXPROCS=%d: fused apply differs from serial at flat index %d", p, i)
+					}
+				}
+			}
+		})
+	}
+}

@@ -105,14 +105,16 @@ func (b *sparseSignBlock) MulCSR(a *sparse.CSR) *mat.Dense {
 }
 
 // MulCSRInto computes dst = A·Ω by scattering each stored a_ij into the s
-// sketch columns of Ω's row j: O(nnz(A)·s) work, no dense Ω ever formed.
-// Row-parallel for large products; each output row is written by one
-// worker in the serial order, so results are GOMAXPROCS-independent.
+// sketch columns of Ω's row j: O(nnz(A)·s) work, no dense Ω ever formed,
+// and A read exactly once — each output row is zeroed inside the same
+// traversal that fills it, so there is no separate dst.Zero() pass over
+// the output. Parallel work is split by nnz-balanced row ranges (the
+// partitioner shared with internal/sparse); each output row is written by
+// one worker in the serial order, so results are GOMAXPROCS-independent.
 func (b *sparseSignBlock) MulCSRInto(dst *mat.Dense, a *sparse.CSR) {
 	if a.Cols != b.n || dst.Rows != a.Rows || dst.Cols != b.k {
 		panic("sketch: SparseSign MulCSRInto dimension mismatch")
 	}
-	dst.Zero()
 	b.mulCSRBody(dst, a)
 }
 
@@ -123,7 +125,7 @@ func (b *sparseSignBlock) mulCSRBody(dst *mat.Dense, a *sparse.CSR) {
 		b.mulCSRRows(dst, a, 0, a.Rows)
 		return
 	}
-	mat.ParallelFor(a.Rows, applyRowGrain, func(lo, hi int) {
+	a.ParallelRowsByNNZ(func(lo, hi int) {
 		b.mulCSRRows(dst, a, lo, hi)
 	})
 }
@@ -132,6 +134,9 @@ func (b *sparseSignBlock) mulCSRRows(dst *mat.Dense, a *sparse.CSR, lo, hi int) 
 	for i := lo; i < hi; i++ {
 		cols, vals := a.RowView(i)
 		drow := dst.Row(i)
+		for c := range drow {
+			drow[c] = 0
+		}
 		for t, j := range cols {
 			av := vals[t]
 			base := j * b.s
@@ -150,7 +155,6 @@ func (b *sparseSignBlock) MulDenseRangeInto(dst *mat.Dense, x *mat.Dense, lo, hi
 	if x.Cols != b.n || dst.Rows != x.Rows || dst.Cols != b.k {
 		panic("sketch: SparseSign MulDenseRangeInto dimension mismatch")
 	}
-	dst.Zero()
 	if x.Rows*(hi-lo)*b.s < applyParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
 		b.mulDenseRows(dst, x, lo, hi, 0, x.Rows)
 		return
@@ -164,6 +168,9 @@ func (b *sparseSignBlock) mulDenseRows(dst *mat.Dense, x *mat.Dense, lo, hi, rlo
 	for r := rlo; r < rhi; r++ {
 		xrow := x.Row(r)
 		drow := dst.Row(r)
+		for c := range drow {
+			drow[c] = 0
+		}
 		for j := lo; j < hi; j++ {
 			xv := xrow[j]
 			if xv == 0 {

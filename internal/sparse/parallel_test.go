@@ -75,23 +75,18 @@ func TestMulDenseParallelMatchesSerialBitwise(t *testing.T) {
 	}
 }
 
-func TestMulTDenseParallelMatchesSerialWithinTolerance(t *testing.T) {
+func TestMulTDenseParallelMatchesSerialBitwise(t *testing.T) {
 	for _, tc := range spmmCases {
 		a := randCSR(tc.rows, tc.cols, tc.density, int64(tc.rows*3+tc.width))
 		b := randDense(tc.rows, tc.width, int64(tc.rows))
 		var serial, parallel *mat.Dense
 		withMaxProcs(1, func() { serial = a.MulTDense(b) })
 		withMaxProcs(4, func() { parallel = a.MulTDense(b) })
-		// The accumulator-parallel path reduces per-chunk partials, so the
-		// summation order is grouped: equality holds to rounding, not bitwise.
-		diff := serial.Clone()
-		diff.Sub(parallel)
-		rel := diff.FrobNorm()
-		if n := serial.FrobNorm(); n > 0 {
-			rel /= n
-		}
-		if rel > 1e-12 {
-			t.Fatalf("MulTDense %+v: parallel deviates from serial by %g", tc, rel)
+		// The column-strip split gives every output element the exact
+		// serial accumulation order, so equality is bitwise (the old
+		// per-chunk-partials path only matched to rounding).
+		if !denseBitwiseEqual(serial, parallel) {
+			t.Fatalf("MulTDense %+v: parallel result differs from serial", tc)
 		}
 	}
 }

@@ -1,0 +1,93 @@
+package sparse
+
+import (
+	"runtime"
+	"sort"
+
+	"sparselr/internal/mat"
+)
+
+// nnz-balanced partitioning. Uniform row splits serialize on power-law
+// matrices (a circuit hub row can hold thousands of entries while its
+// neighbours hold three), so the parallel sparse kernels split rows by
+// equal shares of *stored entries* instead: the chunk boundaries are
+// binary-searched in a nonzero prefix sum, which for CSR is exactly
+// RowPtr. Boundaries depend only on the matrix and the requested chunk
+// count, never on scheduling, so kernels whose chunks write disjoint
+// output regions stay bitwise deterministic.
+
+// chunksByPrefix splits [0, len(prefix)-1) into nchunks contiguous ranges
+// whose prefix-sum weights are as equal as row granularity allows.
+// prefix must be nondecreasing with prefix[0] == 0 (RowPtr, or any
+// per-row cost prefix). The result is a bounds slice b of length
+// nchunks+1 with b[0] = 0 and b[nchunks] = n; chunk c covers rows
+// [b[c], b[c+1]) and may be empty when one row dominates the weight.
+func chunksByPrefix(prefix []int, nchunks int) []int {
+	n := len(prefix) - 1
+	if nchunks > n {
+		nchunks = n
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	bounds := make([]int, nchunks+1)
+	bounds[nchunks] = n
+	total := prefix[n] - prefix[0]
+	if total <= 0 {
+		// No weight anywhere: fall back to a uniform row split so work
+		// that scales with row count (output zeroing) still spreads.
+		for c := 1; c < nchunks; c++ {
+			bounds[c] = c * n / nchunks
+		}
+		return bounds
+	}
+	for c := 1; c < nchunks; c++ {
+		target := prefix[0] + total*c/nchunks
+		r := sort.SearchInts(prefix, target)
+		if r > n {
+			r = n
+		}
+		if r < bounds[c-1] {
+			r = bounds[c-1]
+		}
+		bounds[c] = r
+	}
+	return bounds
+}
+
+// RowChunksByNNZ returns nnz-balanced row bounds for a CSR row pointer:
+// bounds[c]..bounds[c+1] delimit chunk c of at most nchunks chunks. The
+// fused sketch applies in internal/sketch share this partitioner so every
+// CSR traversal in the repo balances the same way.
+func RowChunksByNNZ(rowPtr []int, nchunks int) []int {
+	return chunksByPrefix(rowPtr, nchunks)
+}
+
+// spmmChunksPerProc is the number of nnz-balanced chunks handed to the
+// pool per processor. A few chunks per worker lets the dynamic ParallelFor
+// scheduler absorb the residual imbalance that row granularity leaves
+// (a single hub row can still exceed the ideal chunk weight).
+const spmmChunksPerProc = 4
+
+// ParallelRowsByNNZ runs fn over nnz-balanced row ranges of a on the
+// shared kernel pool, spmmChunksPerProc chunks per processor. Empty
+// chunks are skipped. fn must treat its ranges as disjoint row work;
+// ranges and their order of issue depend only on the matrix shape and
+// GOMAXPROCS.
+func (a *CSR) ParallelRowsByNNZ(fn func(lo, hi int)) {
+	bounds := RowChunksByNNZ(a.RowPtr, spmmChunksPerProc*runtime.GOMAXPROCS(0))
+	parallelChunks(bounds, fn)
+}
+
+// parallelChunks dispatches the chunks delimited by bounds over the kernel
+// pool, one ParallelFor submission for the whole set.
+func parallelChunks(bounds []int, fn func(lo, hi int)) {
+	nchunks := len(bounds) - 1
+	mat.ParallelFor(nchunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			if bounds[c] < bounds[c+1] {
+				fn(bounds[c], bounds[c+1])
+			}
+		}
+	})
+}

@@ -175,19 +175,41 @@ func (a *CSR) Transpose() *CSR {
 	return t
 }
 
-// Parallel thresholds for the sparse kernels: products whose multiply-add
-// count (nnz × dense width, or the Gustavson flop count for SpGEMM) falls
-// below these stay on the serial path.
+// Parallel thresholds and cache-blocking parameters for the sparse
+// kernels (see DESIGN.md §4b "Sparse kernel tuning" for the retune
+// protocol). Products whose multiply-add count (nnz × dense width, or
+// the Gustavson flop count for SpGEMM) fall below the thresholds stay on
+// the serial path, where dispatch would cost more than it saves.
 const (
 	spmmParallelThreshold   = 1 << 15
-	spmmRowGrain            = 64
 	spgemmParallelThreshold = 1 << 16
+	// spmmColBlockMin / spmmCacheBudget shape the MulDense column
+	// blocking: when a pass over all of B would stream more than the
+	// budget, B is processed in column blocks sized to fit it (never
+	// narrower than the minimum — measured on the 20000×64 circuit
+	// SpMM, blocks below 64 columns lose more to the repeated CSR
+	// traversal than the dense locality wins back).
+	spmmColBlockMin = 64
+	spmmCacheBudget = 1 << 23
+	// spmmTMinStrip / spmmTStripBudget shape the MulTDense output
+	// strips: each pass owns the widest multiple-of-8 column strip whose
+	// a.Cols×w output footprint stays under the budget (never narrower
+	// than the minimum), so the scatter destination is cache-resident
+	// instead of thrashing a full a.Cols×b.Cols panel. The parallel path
+	// may narrow strips below the serial floor — down to spmmTMinStrip —
+	// to keep every worker busy; the CSR re-reads that costs are served
+	// from the shared cache.
+	spmmTMinStrip       = 8
+	spmmTSerialMinStrip = 32
+	spmmTStripBudget    = 1 << 24
 )
 
 // MulDense returns A·B for dense B. Large products run row-parallel on
-// the shared kernel pool; every output row is written by exactly one
-// worker in the serial accumulation order, so the result is bitwise
-// identical to the serial path.
+// the shared kernel pool with nnz-balanced row chunks (RowChunksByNNZ),
+// so power-law row distributions no longer serialize on their hub rows;
+// every output row is written by exactly one worker in the serial
+// accumulation order, so the result is bitwise identical to the serial
+// path at any GOMAXPROCS.
 func (a *CSR) MulDense(b *mat.Dense) *mat.Dense {
 	if a.Cols != b.Rows {
 		panic("sparse: MulDense dimension mismatch")
@@ -198,38 +220,62 @@ func (a *CSR) MulDense(b *mat.Dense) *mat.Dense {
 }
 
 // MulDenseInto computes dst = A·B, overwriting dst. It is the
-// allocation-free form of MulDense for workspace callers; the value
-// written is bitwise identical to MulDense's.
+// allocation-free form of MulDense for workspace callers; dst need not
+// be zeroed first (the kernel zeroes each output block immediately
+// before accumulating into it, saving the separate full-matrix pass).
+// The value written is bitwise identical to MulDense's.
 func (a *CSR) MulDenseInto(dst *mat.Dense, b *mat.Dense) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("sparse: MulDenseInto dimension mismatch")
 	}
-	dst.Zero()
 	a.mulDenseBody(dst, b)
 }
 
-// mulDenseBody accumulates A·B into the (already zeroed) out with the
-// shared serial/parallel branching.
+// mulDenseBody computes A·B into out (contents ignored) with the shared
+// serial/parallel branching.
 func (a *CSR) mulDenseBody(out, b *mat.Dense) {
 	if a.NNZ()*b.Cols < spmmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
 		a.mulDenseRows(out, b, 0, a.Rows)
 		return
 	}
-	mat.ParallelFor(a.Rows, spmmRowGrain, func(lo, hi int) {
+	a.ParallelRowsByNNZ(func(lo, hi int) {
 		a.mulDenseRows(out, b, lo, hi)
 	})
 }
 
-// mulDenseRows accumulates rows [lo, hi) of out = A·B.
+// mulDenseRows computes rows [lo, hi) of out = A·B, cache-blocked over
+// B's columns. Each output segment is zeroed on first touch and then
+// accumulated in ascending-k order — the same per-element summation as
+// an unblocked pass over a pre-zeroed destination, so blocking changes
+// no bits.
 func (a *CSR) mulDenseRows(out, b *mat.Dense, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		cols, vals := a.RowView(i)
-		orow := out.Row(i)
-		for k, j := range cols {
-			v := vals[k]
-			brow := b.Row(j)
-			for c, bv := range brow {
-				orow[c] += v * bv
+	if b.Cols == 0 {
+		return
+	}
+	block := b.Cols
+	if b.Rows > 0 && b.Rows*b.Cols*8 > spmmCacheBudget {
+		block = spmmCacheBudget / (8 * b.Rows)
+		if block < spmmColBlockMin {
+			block = spmmColBlockMin
+		}
+		if block > b.Cols {
+			block = b.Cols
+		}
+	}
+	for blo := 0; blo < b.Cols; blo += block {
+		bhi := min(blo+block, b.Cols)
+		for i := lo; i < hi; i++ {
+			cols, vals := a.RowView(i)
+			orow := out.Row(i)[blo:bhi]
+			for c := range orow {
+				orow[c] = 0
+			}
+			for k, j := range cols {
+				v := vals[k]
+				brow := b.Row(j)[blo:bhi]
+				for c, bv := range brow {
+					orow[c] += v * bv
+				}
 			}
 		}
 	}
@@ -237,11 +283,13 @@ func (a *CSR) mulDenseRows(out, b *mat.Dense, lo, hi int) {
 
 // MulTDense returns Aᵀ·B for dense B without forming the transpose.
 // The scatter pattern (row i of A touches arbitrary output rows) makes a
-// direct row split race, so the parallel path gives each worker chunk a
-// private accumulator and sums them in ascending chunk order: results are
-// deterministic for a fixed GOMAXPROCS and match the serial path within
-// rounding (≤1e-12 relative Frobenius error; the reduction order is
-// grouped by chunk rather than fully serial).
+// row split race, so the work is split over *output column strips*
+// instead: each strip owns disjoint columns of the result and replays
+// the full CSR traversal restricted to its columns. Every output element
+// is accumulated in exactly the serial row order, so the result is
+// bitwise identical to the serial path at any GOMAXPROCS — a stronger
+// contract than the historical per-chunk-accumulator path, which only
+// matched serial to rounding and burned a zero+merge pass per worker.
 func (a *CSR) MulTDense(b *mat.Dense) *mat.Dense {
 	if a.Rows != b.Rows {
 		panic("sparse: MulTDense dimension mismatch")
@@ -252,51 +300,75 @@ func (a *CSR) MulTDense(b *mat.Dense) *mat.Dense {
 }
 
 // MulTDenseInto computes dst = Aᵀ·B, overwriting dst. It is the
-// allocation-free form of MulTDense for workspace callers (the parallel
-// path still draws its per-chunk accumulators from the shared pool); the
-// value written is bitwise identical to MulTDense's.
+// allocation-free form of MulTDense for workspace callers; dst need not
+// be zeroed first (each column strip zeroes itself before its scatter
+// pass). The value written is bitwise identical to MulTDense's.
 func (a *CSR) MulTDenseInto(dst *mat.Dense, b *mat.Dense) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("sparse: MulTDenseInto dimension mismatch")
 	}
-	dst.Zero()
 	a.mulTDenseBody(dst, b)
 }
 
-// mulTDenseBody accumulates Aᵀ·B into the (already zeroed) out with the
-// shared serial/parallel branching.
+// mulTDenseBody computes Aᵀ·B into out (contents ignored) with the
+// shared serial/parallel branching over output column strips.
 func (a *CSR) mulTDenseBody(out, b *mat.Dense) {
-	if a.NNZ()*b.Cols < spmmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
-		a.mulTDenseRows(out, b, 0, a.Rows)
+	if b.Cols == 0 {
 		return
 	}
-	grain := mat.ChunkGrain(a.Rows)
-	nchunks := (a.Rows + grain - 1) / grain
-	partials := make([]*mat.Dense, nchunks)
-	mat.ParallelFor(a.Rows, grain, func(lo, hi int) {
-		// The zeroing GetDense variant is load-bearing here: the chunk
-		// scatter-accumulates into arbitrary rows of p, so the partial
-		// must start from zero (GetDenseNoZero would leak stale pool
-		// contents into the sum).
-		p := mat.GetDense(a.Cols, b.Cols)
-		a.mulTDenseRows(p, b, lo, hi)
-		partials[lo/grain] = p
-	})
-	for _, p := range partials {
-		out.Add(p)
-		mat.PutDense(p)
+	w := tStripWidth(a.Cols, b.Cols)
+	if a.NNZ()*b.Cols < spmmParallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+		for lo := 0; lo < b.Cols; lo += w {
+			a.mulTDenseStrip(out, b, lo, min(lo+w, b.Cols))
+		}
+		return
 	}
+	// Narrow the strips further when the budget-derived width would
+	// leave workers idle; the result is strip-width-independent, so the
+	// GOMAXPROCS-dependent choice costs no determinism.
+	if maxW := (b.Cols / (2 * runtime.GOMAXPROCS(0))) &^ (spmmTMinStrip - 1); maxW >= spmmTMinStrip && w > maxW {
+		w = maxW
+	}
+	mat.ParallelFor(b.Cols, w, func(lo, hi int) {
+		a.mulTDenseStrip(out, b, lo, hi)
+	})
 }
 
-// mulTDenseRows accumulates the contribution of A's rows [lo, hi) to
-// out = Aᵀ·B.
-func (a *CSR) mulTDenseRows(out, b *mat.Dense, lo, hi int) {
-	for i := lo; i < hi; i++ {
+// tStripWidth returns the widest multiple-of-spmmTMinStrip column strip
+// whose aCols×w output footprint stays within spmmTStripBudget.
+func tStripWidth(aCols, bCols int) int {
+	if aCols <= 0 {
+		return bCols
+	}
+	w := (spmmTStripBudget / (8 * aCols)) &^ (spmmTMinStrip - 1)
+	if w < spmmTSerialMinStrip {
+		w = spmmTSerialMinStrip
+	}
+	if w > bCols {
+		w = bCols
+	}
+	return w
+}
+
+// mulTDenseStrip computes out[:, lo:hi] = (Aᵀ·B)[:, lo:hi]: the strip is
+// zeroed, then the full CSR traversal scatter-accumulates the restricted
+// B columns in ascending row order.
+func (a *CSR) mulTDenseStrip(out, b *mat.Dense, lo, hi int) {
+	for j := 0; j < a.Cols; j++ {
+		orow := out.Row(j)[lo:hi]
+		for c := range orow {
+			orow[c] = 0
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
 		cols, vals := a.RowView(i)
-		brow := b.Row(i)
+		if len(cols) == 0 {
+			continue
+		}
+		brow := b.Row(i)[lo:hi]
 		for k, j := range cols {
 			v := vals[k]
-			orow := out.Row(j)
+			orow := out.Row(j)[lo:hi]
 			for c, bv := range brow {
 				orow[c] += v * bv
 			}
@@ -386,10 +458,12 @@ func (a *CSR) ResidualFrobNorm(l, r *mat.Dense) float64 {
 
 // SpGEMM returns the sparse product A·B using Gustavson's row-merge
 // algorithm. Entries whose accumulated value is exactly zero are dropped.
-// Large products run row-parallel: each worker chunk owns a contiguous
-// row range with a private sparse accumulator, and the per-chunk results
-// are concatenated in row order. Every output row is computed with
-// exactly the serial per-row merge order, so the parallel result is
+// Large products run row-parallel with *flop-balanced* chunks: the row
+// ranges are cut in the prefix sum of per-row Gustavson flop counts
+// (chunksByPrefix), so one dense hub row of A no longer serializes the
+// product. Each chunk owns a private sparse accumulator and the per-chunk
+// results are concatenated in row order. Every output row is computed
+// with exactly the serial per-row merge order, so the parallel result is
 // bitwise identical to the serial one.
 func SpGEMM(a, b *CSR) *CSR {
 	if a.Cols != b.Rows {
@@ -398,34 +472,54 @@ func SpGEMM(a, b *CSR) *CSR {
 	if runtime.GOMAXPROCS(0) < 2 || SpGEMMFlops(a, b) < spgemmParallelThreshold {
 		return spGEMMSerial(a, b)
 	}
-	grain := mat.ChunkGrain(a.Rows)
-	nchunks := (a.Rows + grain - 1) / grain
+	// Per-row flop prefix: row i of the product costs Σ nnz(B row j)
+	// over the stored a_ij.
+	rowLen := make([]int, b.Rows)
+	for i := 0; i < b.Rows; i++ {
+		rowLen[i] = b.RowPtr[i+1] - b.RowPtr[i]
+	}
+	pf := make([]int, a.Rows+1)
+	for i := 0; i < a.Rows; i++ {
+		f := 0
+		for _, j := range a.ColIdx[a.RowPtr[i]:a.RowPtr[i+1]] {
+			f += rowLen[j]
+		}
+		pf[i+1] = pf[i] + f
+	}
+	bounds := chunksByPrefix(pf, runtime.GOMAXPROCS(0))
+	nchunks := len(bounds) - 1
 	type chunkOut struct {
 		colIdx []int
 		val    []float64
 		rowNNZ []int
 	}
 	results := make([]chunkOut, nchunks)
-	mat.ParallelFor(a.Rows, grain, func(lo, hi int) {
-		co := chunkOut{rowNNZ: make([]int, hi-lo)}
-		acc := make([]float64, b.Cols)
-		mark := make([]int, b.Cols)
-		for i := range mark {
-			mark[i] = -1
-		}
-		pattern := make([]int, 0, 64)
-		for i := lo; i < hi; i++ {
-			pattern = spGEMMRow(a, b, i, acc, mark, pattern[:0])
-			n0 := len(co.val)
-			for _, j := range pattern {
-				if acc[j] != 0 {
-					co.colIdx = append(co.colIdx, j)
-					co.val = append(co.val, acc[j])
-				}
+	mat.ParallelFor(nchunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := bounds[c], bounds[c+1]
+			if lo >= hi {
+				continue
 			}
-			co.rowNNZ[i-lo] = len(co.val) - n0
+			co := chunkOut{rowNNZ: make([]int, hi-lo)}
+			acc := make([]float64, b.Cols)
+			mark := make([]int, b.Cols)
+			for i := range mark {
+				mark[i] = -1
+			}
+			pattern := make([]int, 0, 64)
+			for i := lo; i < hi; i++ {
+				pattern = spGEMMRow(a, b, i, acc, mark, pattern[:0])
+				n0 := len(co.val)
+				for _, j := range pattern {
+					if acc[j] != 0 {
+						co.colIdx = append(co.colIdx, j)
+						co.val = append(co.val, acc[j])
+					}
+				}
+				co.rowNNZ[i-lo] = len(co.val) - n0
+			}
+			results[c] = co
 		}
-		results[lo/grain] = co
 	})
 	out := NewCSR(a.Rows, b.Cols)
 	total := 0

@@ -126,7 +126,7 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "merged fleet metrics into BENCH_serve.json"
 
     echo "== kernel micro-benchmarks (with parallel-vs-serial speedup gates)"
-    out=$(go test -run '^$' -bench '^BenchmarkKernel' -benchtime "${BENCHTIME:-200ms}" . ./internal/mat | grep -E '^Benchmark')
+    out=$(go test -run '^$' -bench '^BenchmarkKernel' -benchmem -benchtime "${BENCHTIME:-200ms}" . ./internal/mat | grep -E '^Benchmark')
     echo "$out"
     echo "$out" | awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
         BEGIN { print "{"; first = 1 }
@@ -136,8 +136,13 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
             sub(/^Benchmark/, "", name)
             if (!first) printf ",\n"
             first = 0
-            printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s}", name, $2, $3
+            printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, $5, $7
             ns[name] = $3
+        }
+        function ratio(label, ser, par) {
+            if (ns[ser] > 0 && ns[par] > 0) {
+                printf "%s\"%s\": %.3f", sep, label, ns[ser] / ns[par]; sep = ", "
+            }
         }
         END {
             # Parallel-vs-serial speedup ratios (serial ns / parallel ns;
@@ -145,18 +150,16 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
             # ratio on the comparable 2048*128*128-madd shape.
             printf ",\n  \"_speedups\": {"
             sep = ""
-            if (ns["KernelGEMM512Serial"] > 0 && ns["KernelGEMM512"] > 0) {
-                printf "%s\"gemm512_parallel\": %.3f", sep, ns["KernelGEMM512Serial"] / ns["KernelGEMM512"]; sep = ", "
-            }
-            if (ns["KernelGEMMOddSerial"] > 0 && ns["KernelGEMMOdd"] > 0) {
-                printf "%s\"gemm_odd_parallel\": %.3f", sep, ns["KernelGEMMOddSerial"] / ns["KernelGEMMOdd"]; sep = ", "
-            }
-            if (ns["KernelMulTSerial"] > 0 && ns["KernelMulT"] > 0) {
-                printf "%s\"mult_parallel\": %.3f", sep, ns["KernelMulTSerial"] / ns["KernelMulT"]; sep = ", "
-            }
-            if (ns["KernelMulBTSerial"] > 0 && ns["KernelMulBT"] > 0) {
-                printf "%s\"mulbt_parallel\": %.3f", sep, ns["KernelMulBTSerial"] / ns["KernelMulBT"]; sep = ", "
-            }
+            ratio("gemm512_parallel", "KernelGEMM512Serial", "KernelGEMM512")
+            ratio("gemm_odd_parallel", "KernelGEMMOddSerial", "KernelGEMMOdd")
+            ratio("mult_parallel", "KernelMulTSerial", "KernelMulT")
+            ratio("multwide_parallel", "KernelMulTWideSerial", "KernelMulTWide")
+            ratio("mulbt_parallel", "KernelMulBTSerial", "KernelMulBT")
+            ratio("spmm_parallel", "KernelSpMMLargeSerial", "KernelSpMMLarge")
+            ratio("multdense_parallel", "KernelSpMMTSerial", "KernelSpMMT")
+            ratio("sketch_apply_parallel", "KernelSketchApplySerial", "KernelSketchApply")
+            ratio("randqbei_e2e", "KernelSolveRandQBEISerial", "KernelSolveRandQBEI")
+            ratio("lucrtp_e2e", "KernelSolveLUCRTPSerial", "KernelSolveLUCRTP")
             if (ns["KernelMulT"] > 0 && ns["KernelMulBT"] > 0) {
                 printf "%s\"mulbt_over_mult\": %.3f", sep, ns["KernelMulBT"] / ns["KernelMulT"]; sep = ", "
             }
@@ -170,18 +173,54 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
                 printf "KernelMulBT (%s ns/op) exceeds 2x KernelMulT (%s ns/op)\n", ns["KernelMulBT"], ns["KernelMulT"] > "/dev/stderr"
                 exit 1
             }
-            # Gate 2: parallel GEMM must beat the pinned-GOMAXPROCS=1 run
-            # by >= 1.3x at 512^3. Needs real cores; skipped below 4 CPUs.
+            # Gate 1b: the sparse AtB scatter must never lose to its pinned
+            # serial twin by more than benchmark noise (the column-strip
+            # split makes the serial and parallel paths identical work, so
+            # 0.9 is a pure noise floor, not a perf allowance).
+            if (ns["KernelSpMMT"] == "" || ns["KernelSpMMTSerial"] == "") {
+                print "missing KernelSpMMT/KernelSpMMTSerial benchmarks" > "/dev/stderr"; exit 1
+            }
+            if (ns["KernelSpMMT"] * 0.9 > ns["KernelSpMMTSerial"]) {
+                printf "KernelSpMMT (%s ns/op) regressed below 0.9x of serial (%s ns/op)\n", ns["KernelSpMMT"], ns["KernelSpMMTSerial"] > "/dev/stderr"
+                exit 1
+            }
+            # Parallel-speedup gates need real cores; skipped below 4 CPUs.
             if (ncpu + 0 < 4) {
-                printf "note: GEMM512 parallel-speedup gate skipped (%d CPUs < 4)\n", ncpu > "/dev/stderr"
-            } else {
-                if (ns["KernelGEMM512"] == "" || ns["KernelGEMM512Serial"] == "") {
-                    print "missing KernelGEMM512/KernelGEMM512Serial benchmarks" > "/dev/stderr"; exit 1
-                }
-                if (ns["KernelGEMM512"] * 1.3 > ns["KernelGEMM512Serial"]) {
-                    printf "KernelGEMM512 (%s ns/op) not >=1.3x faster than serial (%s ns/op)\n", ns["KernelGEMM512"], ns["KernelGEMM512Serial"] > "/dev/stderr"
-                    exit 1
-                }
+                printf "note: parallel-speedup gates skipped (%d CPUs < 4)\n", ncpu > "/dev/stderr"
+                exit 0
+            }
+            # Gate 2: parallel GEMM must beat the pinned-GOMAXPROCS=1 run
+            # by >= 1.3x at 512^3.
+            if (ns["KernelGEMM512"] == "" || ns["KernelGEMM512Serial"] == "") {
+                print "missing KernelGEMM512/KernelGEMM512Serial benchmarks" > "/dev/stderr"; exit 1
+            }
+            if (ns["KernelGEMM512"] * 1.3 > ns["KernelGEMM512Serial"]) {
+                printf "KernelGEMM512 (%s ns/op) not >=1.3x faster than serial (%s ns/op)\n", ns["KernelGEMM512"], ns["KernelGEMM512Serial"] > "/dev/stderr"
+                exit 1
+            }
+            # Gate 3: nnz-balanced parallel SpMM must beat its serial twin
+            # by >= 1.3x on the 20000-row power-law circuit matrix.
+            if (ns["KernelSpMMLarge"] == "" || ns["KernelSpMMLargeSerial"] == "") {
+                print "missing KernelSpMMLarge/KernelSpMMLargeSerial benchmarks" > "/dev/stderr"; exit 1
+            }
+            if (ns["KernelSpMMLarge"] * 1.3 > ns["KernelSpMMLargeSerial"]) {
+                printf "KernelSpMMLarge (%s ns/op) not >=1.3x faster than serial (%s ns/op)\n", ns["KernelSpMMLarge"], ns["KernelSpMMLargeSerial"] > "/dev/stderr"
+                exit 1
+            }
+            # Gate 4: the column-strip parallel AtB must at least match its
+            # serial twin (it does identical work, split across cores).
+            if (ns["KernelSpMMT"] * 1.0 > ns["KernelSpMMTSerial"]) {
+                printf "KernelSpMMT (%s ns/op) not >=1.0x of serial (%s ns/op)\n", ns["KernelSpMMT"], ns["KernelSpMMTSerial"] > "/dev/stderr"
+                exit 1
+            }
+            # Gate 5: the end-to-end RandQB_EI solve must show a measurable
+            # win from the parallel kernel stack.
+            if (ns["KernelSolveRandQBEI"] == "" || ns["KernelSolveRandQBEISerial"] == "") {
+                print "missing KernelSolveRandQBEI benchmarks" > "/dev/stderr"; exit 1
+            }
+            if (ns["KernelSolveRandQBEI"] * 1.05 > ns["KernelSolveRandQBEISerial"]) {
+                printf "KernelSolveRandQBEI (%s ns/op) not >=1.05x faster than serial (%s ns/op)\n", ns["KernelSolveRandQBEI"], ns["KernelSolveRandQBEISerial"] > "/dev/stderr"
+                exit 1
             }
         }
     ' > BENCH_kernels.json
