@@ -11,6 +11,7 @@
 //	experiments -run fig1left -suite 197
 //	experiments -run fig4 -breakdown -tracedir traces/
 //	experiments -run sketch -scale medium -sketchnnz 4
+//	experiments -run cur -scale small
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "table1|table2|fig1left|fig1right|fig2|fig3|fig4|fig5|fig6|sketch|chaos|all")
+		run      = flag.String("run", "all", "table1|table2|fig1left|fig1right|fig2|fig3|fig4|fig5|fig6|sketch|cur|chaos|all")
 		scale    = flag.String("scale", "small", "small|medium|large")
 		matrices = flag.String("matrices", "", "comma-separated Table I labels (empty = all)")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
@@ -83,6 +84,7 @@ func main() {
 		"fig5":   func() { experiments.RunFig5(cfg) },
 		"fig6":   func() { experiments.RunFig6(cfg) },
 		"sketch": func() { experiments.RunSketch(cfg) },
+		"cur":    func() { experiments.RunCUR(cfg) },
 		"chaos":  func() { experiments.RunChaos(cfg) },
 	}
 	// The chaos sweep is opt-in (robustness, not a paper artifact), so

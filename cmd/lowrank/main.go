@@ -11,6 +11,7 @@
 //	lowrank -matrix M2 -method ILUT_CRTP -tol 1e-3 -k 16
 //	lowrank -matrix M5 -scale medium -method RandQB_EI -power 1 -np 8
 //	lowrank -matrix data/my.mtx -method LU_CRTP -tol 1e-2
+//	lowrank -matrix M3 -method cur -tol 1e-2
 //	lowrank -matrix M2 -np 8 -breakdown -trace run.json
 package main
 
@@ -35,7 +36,7 @@ func main() {
 	var (
 		matrix  = flag.String("matrix", "M1", "M1..M6 (Table I analog) or a MatrixMarket file path")
 		scale   = flag.String("scale", "small", "workload scale for generated matrices: small|medium|large")
-		method  = flag.String("method", "LU_CRTP", "RandQB_EI | RandUBV | LU_CRTP | ILUT_CRTP | TSVD")
+		method  = flag.String("method", "LU_CRTP", "approximation method: "+core.MethodUsage())
 		k       = flag.Int("k", 16, "block size")
 		tol     = flag.Float64("tol", 1e-2, "tolerance τ of the fixed-precision problem")
 		power   = flag.Int("power", 1, "RandQB_EI power parameter p (0..3)")
@@ -168,11 +169,8 @@ func validateFlags(f flagValues) (core.Method, sketch.Kind, error) {
 	if f.np < 0 {
 		return 0, 0, fmt.Errorf("-np must be nonnegative, got %d", f.np)
 	}
-	if f.np > 1 {
-		switch m {
-		case core.TSVD, core.RSVDRestart, core.ARRF:
-			return 0, 0, fmt.Errorf("%v has no distributed implementation; use -np 1", m)
-		}
+	if f.np > 1 && !m.DistCapable() {
+		return 0, 0, fmt.Errorf("%v has no distributed implementation; use -np 1", m)
 	}
 	if f.sketchNNZ < 0 {
 		return 0, 0, fmt.Errorf("-sketchnnz must be nonnegative, got %d", f.sketchNNZ)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sparselr/internal/arrf"
+	"sparselr/internal/cur"
 	"sparselr/internal/dist"
 	"sparselr/internal/lucrtp"
 	"sparselr/internal/mat"
@@ -42,49 +43,21 @@ const (
 	// ARRF is Halko's Adaptive Randomized Range Finder (Alg 4.2), the
 	// vector-at-a-time fixed-precision progenitor of RandQB_EI.
 	ARRF
+	// CUR is the randomized CUR decomposition: sketch-then-QRCP skeleton
+	// selection on both sides with the least-squares core U = C⁺AR⁺
+	// (internal/cur). Its C and R factors are actual columns/rows of A.
+	CUR
+	// TwoSidedID is the two-sided interpolative decomposition ("ID2"):
+	// sketched column selection, a second QRCP pass on the selected
+	// columns for the rows, and the skeleton-inverse core A(I,J)⁻¹.
+	TwoSidedID
+	// ACA is adaptive cross approximation with partial pivoting: a
+	// sketch-free skeleton method walking CSR residual rows and columns.
+	ACA
 )
 
-// String names the method as the paper does.
-func (m Method) String() string {
-	switch m {
-	case RandQBEI:
-		return "RandQB_EI"
-	case RandUBV:
-		return "RandUBV"
-	case LUCRTP:
-		return "LU_CRTP"
-	case ILUTCRTP:
-		return "ILUT_CRTP"
-	case TSVD:
-		return "TSVD"
-	case RSVDRestart:
-		return "RSVD"
-	case ARRF:
-		return "ARRF"
-	}
-	return fmt.Sprintf("Method(%d)", int(m))
-}
-
-// ParseMethod resolves the paper-style method names.
-func ParseMethod(s string) (Method, error) {
-	switch s {
-	case "RandQB_EI", "randqb", "qb":
-		return RandQBEI, nil
-	case "RandUBV", "randubv", "ubv":
-		return RandUBV, nil
-	case "LU_CRTP", "lucrtp", "lu":
-		return LUCRTP, nil
-	case "ILUT_CRTP", "ilutcrtp", "ilut":
-		return ILUTCRTP, nil
-	case "TSVD", "tsvd", "svd":
-		return TSVD, nil
-	case "RSVD", "rsvd":
-		return RSVDRestart, nil
-	case "ARRF", "arrf":
-		return ARRF, nil
-	}
-	return 0, fmt.Errorf("core: unknown method %q", s)
-}
+// String, ParseMethod, DistCapable and MethodUsage derive from the
+// method registry in registry.go.
 
 // Options configures a run. Zero values give sensible defaults
 // (BlockSize 8, sequential execution).
@@ -166,6 +139,9 @@ type Approximation struct {
 	SVD  *tsvd.Result
 	RS   *rsvd.Result
 	ARRF *arrf.Result
+	// CUR holds the skeleton-factor results (CUR, TwoSidedID, ACA): two
+	// index vectors, sparse C/R and a small dense core.
+	CUR *cur.Result
 }
 
 // TrueError evaluates the exact approximation error ‖·‖_F against a.
@@ -189,6 +165,8 @@ func (ap *Approximation) TrueError(a *sparse.CSR) float64 {
 		return rsvd.TrueError(a, ap.RS)
 	case ap.ARRF != nil:
 		return arrf.ResidualNorm(a, ap.ARRF)
+	case ap.CUR != nil:
+		return cur.TrueError(a, ap.CUR)
 	}
 	return 0
 }
@@ -207,6 +185,8 @@ func (ap *Approximation) Reconstruct() *mat.Dense {
 		return ap.SVD.Approx()
 	case ap.RS != nil:
 		return ap.RS.Approx()
+	case ap.CUR != nil:
+		return ap.CUR.Approx()
 	}
 	return nil
 }
@@ -233,8 +213,7 @@ func Approximate(a *sparse.CSR, opts Options) (*Approximation, error) {
 	// Procs ≥ 1 requests the distributed implementation (np = 1 still
 	// yields the modeled single-rank time, the baseline of the scaling
 	// curves); Procs = 0 runs the plain sequential code path.
-	distCapable := opts.Method == RandQBEI || opts.Method == LUCRTP || opts.Method == ILUTCRTP || opts.Method == RandUBV
-	if opts.Procs > 1 || (opts.Procs == 1 && distCapable) {
+	if opts.Procs > 1 || (opts.Procs == 1 && opts.Method.DistCapable()) {
 		return approximateDist(a, opts)
 	}
 	start := time.Now()
@@ -332,6 +311,26 @@ func Approximate(a *sparse.CSR, opts Options) (*Approximation, error) {
 		ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Probes, r.NormA
 		ap.ErrIndicator, ap.Converged = r.ErrBound, r.Converged
 		ap.NNZFactors = r.Q.Rows * r.Q.Cols
+	case CUR, TwoSidedID, ACA:
+		variant := cur.CUR
+		switch opts.Method {
+		case TwoSidedID:
+			variant = cur.ID2
+		case ACA:
+			variant = cur.ACA
+		}
+		r, err := cur.Factor(a, cur.Options{
+			Variant: variant, BlockSize: opts.BlockSize, Tol: opts.Tol,
+			MaxRank: opts.MaxRank, Seed: opts.Seed,
+			Sketch: opts.Sketch, SketchNNZ: opts.SketchNNZ,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ap.CUR = r
+		ap.Rank, ap.Iters, ap.NormA = r.Rank, r.Iters, r.NormA
+		ap.ErrIndicator, ap.Converged, ap.ErrHistory = r.ErrIndicator, r.Converged, r.ErrHistory
+		ap.NNZFactors = r.NNZFactors()
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
 	}
@@ -404,6 +403,11 @@ func ClassifyFailure(err error) FailureClass {
 	case err == nil:
 		return FailureNone
 	case errors.Is(err, lucrtp.ErrBreakdown):
+		return FailureBreakdown
+	case errors.Is(err, mat.ErrSingular):
+		// A numerically rank-deficient skeleton (CUR/ID2 cross or
+		// least-squares core) is a breakdown of the input regime, not
+		// a crash: same remediation advice as an LU breakdown.
 		return FailureBreakdown
 	case errors.As(err, &re):
 		return FailureRankCrash
@@ -495,10 +499,11 @@ func approximateDist(a *sparse.CSR, opts Options) (*Approximation, error) {
 			}
 			return nil
 		})
-	case TSVD, RSVDRestart, ARRF:
-		return nil, fmt.Errorf("core: %v has no distributed implementation; use Procs ≤ 1", opts.Method)
 	default:
-		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+		if _, ok := methodInfo(opts.Method); !ok {
+			return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+		}
+		return nil, fmt.Errorf("core: %v has no distributed implementation; use Procs ≤ 1", opts.Method)
 	}
 	if innerErr != nil {
 		return nil, innerErr

@@ -115,6 +115,13 @@ func approxBytes(ap *core.Approximation) int64 {
 		n += int64(len(ap.RS.S)) * f64
 	case ap.ARRF != nil:
 		dense(ap.ARRF.Q.Rows, ap.ARRF.Q.Cols)
+	case ap.CUR != nil:
+		// Skeleton factors: sparse C and R at CSR cost, the k×k core,
+		// and the two index vectors — not the dense-equivalent panels.
+		n += int64(ap.CUR.C.NNZ()+ap.CUR.R.NNZ()) * 12
+		n += int64(ap.CUR.C.Rows+ap.CUR.R.Rows) * 4
+		dense(ap.CUR.U.Rows, ap.CUR.U.Cols)
+		n += int64(len(ap.CUR.RowIdx)+len(ap.CUR.ColIdx)) * 8
 	}
 	n += int64(len(ap.ErrHistory)) * f64
 	// Fixed overhead per entry (struct headers, map/list bookkeeping).

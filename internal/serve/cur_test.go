@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sparselr/internal/core"
+	"sparselr/internal/gen"
+)
+
+// solveSmall runs one small Table I workload through the core entry
+// point for the sparse-factor serving tests.
+func solveSmall(t *testing.T, label string, method core.Method) *core.Approximation {
+	t.Helper()
+	pm, err := gen.ByLabel(label, gen.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := core.Approximate(pm.A, core.Options{
+		Method: method, BlockSize: 16, Tol: 1e-2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ap.Converged {
+		t.Fatalf("%v did not converge", method)
+	}
+	return ap
+}
+
+// TestCURCacheCostSparseFactors pins the small-footprint claim: the
+// cache cost of a CUR result must reflect the index+core skeleton
+// representation, far below the dense-equivalent QB frame at the same
+// rank.
+func TestCURCacheCostSparseFactors(t *testing.T) {
+	apCUR := solveSmall(t, "M6", core.CUR)
+	apQB := solveSmall(t, "M6", core.RandQBEI)
+
+	curBytes := approxBytes(apCUR)
+	qbBytes := approxBytes(apQB)
+
+	// Dense-equivalent frame at CUR's own rank: two dense panels.
+	m := apCUR.CUR.C.Rows
+	n := apCUR.CUR.R.Cols
+	k := apCUR.Rank
+	denseEquiv := int64(m*k+k*n) * 8
+
+	if curBytes*4 >= denseEquiv {
+		t.Fatalf("CUR cache cost %dB not ≪ dense-equivalent %dB at rank %d", curBytes, denseEquiv, k)
+	}
+	if curBytes >= qbBytes {
+		t.Fatalf("CUR cache cost %dB not below QB frame %dB (QB rank %d)", curBytes, qbBytes, apQB.Rank)
+	}
+	// And the accounting must track the actual skeleton payload, not a
+	// dense materialization of C/R.
+	want := int64(apCUR.CUR.C.NNZ()+apCUR.CUR.R.NNZ())*12 +
+		int64(apCUR.CUR.C.Rows+apCUR.CUR.R.Rows)*4 +
+		int64(k*k)*8 + int64(2*k)*8 +
+		int64(len(apCUR.ErrHistory))*8 + 512
+	if curBytes != want {
+		t.Fatalf("CUR approxBytes = %d, want skeleton accounting %d", curBytes, want)
+	}
+}
+
+// TestCURDiskCacheFrameRoundTrip persists a CUR approximation through
+// the LRKC1 codec and the disk tier and verifies the skeleton factors
+// survive bit-identically.
+func TestCURDiskCacheFrameRoundTrip(t *testing.T) {
+	ap := solveSmall(t, "M3", core.CUR)
+
+	var buf bytes.Buffer
+	if err := EncodeApproximation(&buf, ap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeApproximation(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCUREqual(t, ap, got)
+
+	dir := t.TempDir()
+	dc, err := OpenDiskCache(dir, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(41)
+	dc.Put(key, ap)
+	// A fresh handle (daemon restart) must serve the same frame.
+	dc2, err := OpenDiskCache(dir, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok := dc2.Get(key)
+	if !ok {
+		t.Fatal("CUR frame missing after disk-cache restart")
+	}
+	checkCUREqual(t, ap, got2)
+}
+
+func checkCUREqual(t *testing.T, want, got *core.Approximation) {
+	t.Helper()
+	if got.CUR == nil {
+		t.Fatal("decoded approximation lost its CUR result")
+	}
+	if got.Method != want.Method || got.Rank != want.Rank || got.Converged != want.Converged {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.CUR.RowIdx, want.CUR.RowIdx) || !reflect.DeepEqual(got.CUR.ColIdx, want.CUR.ColIdx) {
+		t.Fatal("skeleton indices changed across the frame round-trip")
+	}
+	if !got.CUR.C.Equal(want.CUR.C, 0) || !got.CUR.R.Equal(want.CUR.R, 0) {
+		t.Fatal("sparse C/R factors changed across the frame round-trip")
+	}
+	if !got.CUR.U.Equal(want.CUR.U, 0) {
+		t.Fatal("core U changed across the frame round-trip")
+	}
+}
+
+// TestServerCUREndToEnd drives the daemon path the lowrankd binary
+// serves: submit a CUR job, read the cached sparse factors back as
+// MatrixMarket and JSON.
+func TestServerCUREndToEnd(t *testing.T) {
+	srv := NewServer(Config{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	body := `{"matrix":"M3","method":"cur","tol":1e-2,"block":16,"seed":1}`
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=60s", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr submitResponse
+	json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sr.Status != StatusDone {
+		t.Fatalf("solve failed: code=%d view=%+v", resp.StatusCode, sr)
+	}
+	if sr.Result == nil || !sr.Result.Converged {
+		t.Fatalf("degenerate result: %+v", sr.Result)
+	}
+	if want := []string{"C", "U", "R"}; !reflect.DeepEqual(sr.Result.Factors, want) {
+		t.Fatalf("factors = %v, want %v", sr.Result.Factors, want)
+	}
+
+	// C and R export as sparse coordinate MatrixMarket (actual columns
+	// and rows of A — never densified on the wire).
+	for _, name := range []string{"C", "R"} {
+		fr, err := http.Get(ts.URL + "/v1/jobs/" + sr.ID + "/factors/" + name + "?format=mm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		head := make([]byte, 64)
+		n, _ := fr.Body.Read(head)
+		fr.Body.Close()
+		if !strings.HasPrefix(string(head[:n]), "%%MatrixMarket matrix coordinate real general") {
+			t.Fatalf("factor %s not exported as sparse coordinate MM: %q", name, string(head[:n]))
+		}
+	}
+	// The dense core exports as JSON with k×k shape.
+	fr, err := http.Get(ts.URL + "/v1/jobs/" + sr.ID + "/factors/U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fj struct {
+		Rows int       `json:"rows"`
+		Cols int       `json:"cols"`
+		Data []float64 `json:"data"`
+	}
+	json.NewDecoder(fr.Body).Decode(&fj)
+	fr.Body.Close()
+	if fj.Rows != sr.Result.Rank || fj.Cols != sr.Result.Rank || len(fj.Data) != fj.Rows*fj.Cols {
+		t.Fatalf("bad U payload: %d×%d, %d values (rank %d)", fj.Rows, fj.Cols, len(fj.Data), sr.Result.Rank)
+	}
+	// The identical resubmission is answered from the cache.
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr2 submitResponse
+	json.NewDecoder(resp.Body).Decode(&sr2)
+	resp.Body.Close()
+	if sr2.Status != StatusDone || !sr2.Cached {
+		t.Fatalf("resubmission not served from cache: %+v", sr2)
+	}
+}

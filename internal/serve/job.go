@@ -252,6 +252,8 @@ func factorNames(ap *core.Approximation) []string {
 		return []string{"U", "S", "V"}
 	case ap.ARRF != nil:
 		return []string{"Q"}
+	case ap.CUR != nil:
+		return []string{"C", "U", "R"}
 	}
 	return nil
 }

@@ -638,6 +638,15 @@ func writeFactor(w http.ResponseWriter, ap *core.Approximation, name, format str
 		if name == "Q" {
 			d = ap.ARRF.Q
 		}
+	case ap.CUR != nil:
+		switch name {
+		case "C":
+			csr = ap.CUR.C
+		case "U":
+			d = ap.CUR.U
+		case "R":
+			csr = ap.CUR.R
+		}
 	}
 	if d == nil && csr == nil && vec == nil {
 		return fmt.Errorf("serve: method %s has no factor %q (available: %v)",

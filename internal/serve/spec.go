@@ -98,11 +98,8 @@ func (s *Spec) Validate() error {
 	if s.Procs < 0 {
 		return fmt.Errorf("serve: procs must be nonnegative, got %d", s.Procs)
 	}
-	if s.Procs > 1 {
-		switch s.method {
-		case core.TSVD, core.RSVDRestart, core.ARRF:
-			return fmt.Errorf("serve: %v has no distributed implementation; use procs <= 1", s.method)
-		}
+	if s.Procs > 1 && !s.method.DistCapable() {
+		return fmt.Errorf("serve: %v has no distributed implementation; use procs <= 1", s.method)
 	}
 	if s.CheckpointEvery < 0 {
 		return fmt.Errorf("serve: checkpoint_every must be nonnegative, got %d", s.CheckpointEvery)

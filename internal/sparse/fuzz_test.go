@@ -26,6 +26,17 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1.0 extra\n")
 	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 -1\n")
 	f.Add("%%MatrixMarket matrix coordinate real symmetric\n% hdr\n%\n3 3 1\n4 1 1.0\n")
+	// Empty rows/columns between populated ones — the shape the ACA
+	// pivot walk must skip over — and a fully empty matrix.
+	f.Add("%%MatrixMarket matrix coordinate real general\n5 4 2\n1 1 1.0\n5 4 2.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n4 4 2\n1 2\n4 3\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n3 3 0\n")
+	// Duplicate entries must accumulate (builder Add semantics), in all
+	// three value modes, including a symmetric off-diagonal duplicate.
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.5\n1 1 2.5\n2 2 -1.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n2 1 1.0\n2 1 0.5\n3 3 2.0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n1 1 -1.0\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		if len(input) > 1<<16 {
 			return

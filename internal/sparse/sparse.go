@@ -710,6 +710,62 @@ func (a *CSR) ExtractBlock(r0, r1, c0, c1 int) *CSR {
 	return out
 }
 
+// ExtractRows gathers the given rows, in order, into a new
+// len(rows)×n CSR matrix (the R factor of a CUR decomposition: actual
+// rows of A, kept sparse).
+func (a *CSR) ExtractRows(rows []int) *CSR {
+	out := NewCSR(len(rows), a.Cols)
+	for p, i := range rows {
+		if i < 0 || i >= a.Rows {
+			panic("sparse: ExtractRows row out of range")
+		}
+		cols, vals := a.RowView(i)
+		out.ColIdx = append(out.ColIdx, cols...)
+		out.Val = append(out.Val, vals...)
+		out.RowPtr[p+1] = len(out.Val)
+	}
+	return out
+}
+
+// ExtractCols gathers the given columns, in order, into a new
+// m×len(cols) CSR matrix (the C factor of a CUR decomposition: actual
+// columns of A, kept sparse). Column indices within each output row are
+// sorted, preserving the CSR invariant even when cols is unordered.
+func (a *CSR) ExtractCols(cols []int) *CSR {
+	inv := make([]int, a.Cols)
+	for j := range inv {
+		inv[j] = -1
+	}
+	for p, j := range cols {
+		if j < 0 || j >= a.Cols {
+			panic("sparse: ExtractCols column out of range")
+		}
+		inv[j] = p
+	}
+	out := NewCSR(a.Rows, len(cols))
+	type ent struct {
+		j int
+		v float64
+	}
+	row := make([]ent, 0, len(cols))
+	for i := 0; i < a.Rows; i++ {
+		rcols, rvals := a.RowView(i)
+		row = row[:0]
+		for k, j := range rcols {
+			if p := inv[j]; p >= 0 {
+				row = append(row, ent{p, rvals[k]})
+			}
+		}
+		sort.Slice(row, func(x, y int) bool { return row[x].j < row[y].j })
+		for _, e := range row {
+			out.ColIdx = append(out.ColIdx, e.j)
+			out.Val = append(out.Val, e.v)
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
 // ExtractColsDense gathers the given columns into a dense m×len(cols)
 // panel (the kernel feeding dense panel QR in QR_TP and LU_CRTP).
 func (a *CSR) ExtractColsDense(cols []int) *mat.Dense {

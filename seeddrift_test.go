@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"sparselr/internal/arrf"
+	"sparselr/internal/cur"
 	"sparselr/internal/dist"
 	"sparselr/internal/mat"
 	"sparselr/internal/randqb"
@@ -73,6 +74,27 @@ func (w *driftHash) dense(d *mat.Dense) {
 		for j := 0; j < d.Cols; j++ {
 			w.u64(math.Float64bits(d.At(i, j)))
 		}
+	}
+}
+
+func (w *driftHash) csr(c *sparse.CSR) {
+	w.u64(uint64(c.Rows))
+	w.u64(uint64(c.Cols))
+	for _, p := range c.RowPtr {
+		w.u64(uint64(p))
+	}
+	for _, j := range c.ColIdx {
+		w.u64(uint64(j))
+	}
+	for _, v := range c.Val {
+		w.u64(math.Float64bits(v))
+	}
+}
+
+func (w *driftHash) ints(xs []int) {
+	w.u64(uint64(len(xs)))
+	for _, x := range xs {
+		w.u64(uint64(x))
 	}
 }
 
@@ -167,6 +189,45 @@ func TestSeedDriftRSVD(t *testing.T) {
 	w.dense(r.V)
 	w.u64(uint64(r.Rank))
 	checkDrift(t, "rsvd", w.sum(), 0xdd1b522ca8b01c90)
+}
+
+// curDriftHash hashes a skeleton result: indices, sparse outer factors,
+// dense core, and the convergence metadata.
+func curDriftHash(r *cur.Result) uint64 {
+	w := newDriftHash()
+	w.ints(r.RowIdx)
+	w.ints(r.ColIdx)
+	w.csr(r.C)
+	w.csr(r.R)
+	w.dense(r.U)
+	w.u64(math.Float64bits(r.ErrIndicator))
+	w.u64(uint64(r.Rank))
+	w.u64(uint64(r.Iters))
+	return w.sum()
+}
+
+func TestSeedDriftCUR(t *testing.T) {
+	r, err := cur.Factor(driftA(), cur.Options{Variant: cur.CUR, BlockSize: 8, Tol: 1e-2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDrift(t, "cur", curDriftHash(r), 0xb4be37236eb1c007)
+}
+
+func TestSeedDriftTwoSidedID(t *testing.T) {
+	r, err := cur.Factor(driftA(), cur.Options{Variant: cur.ID2, BlockSize: 8, Tol: 1e-2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDrift(t, "id2", curDriftHash(r), 0x7a53e977d332afa5)
+}
+
+func TestSeedDriftACA(t *testing.T) {
+	r, err := cur.Factor(driftA(), cur.Options{Variant: cur.ACA, BlockSize: 8, Tol: 1e-2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDrift(t, "aca", curDriftHash(r), 0x2f6d311477ce8a22)
 }
 
 func TestSeedDriftARRF(t *testing.T) {

@@ -29,7 +29,14 @@
 #  13. sketch micro-benchmarks -> BENCH_sketch.json (ns/op + allocs/op),
 #      asserting SparseSign apply >= 3x faster than Gaussian and
 #      0 allocs/op on the Gaussian/SparseSign apply paths
-#  14. (-soak / SOAK=1 only) chaos soak: 3 lowrankd shards with
+#  14. skeleton-method gate: re-run the internal/cur fixed-precision
+#      acceptance test (all three variants reach tau on Table I with the
+#      exact streamed residual), then the CUR/ID2/ACA-vs-RandQB_EI
+#      micro-benchmarks -> BENCH_cur.json (ns/op + resident factor
+#      bytes). The factor-bytes ratio gates unconditionally (CUR must
+#      stay >= 4x below the dense QB frame — it is deterministic);
+#      wall-clock ratios gate only on >= 4-CPU machines
+#  15. (-soak / SOAK=1 only) chaos soak: 3 lowrankd shards with
 #      owner-set replication (R=2) behind the gateway, a seeded
 #      ChaosPlan SIGKILLing/restarting shards under a duplicate-heavy
 #      workload; asserts zero client-visible 5xx, exactly-once solving
@@ -40,10 +47,10 @@
 #      the soak adds the real-process run.
 #
 # Environment knobs:
-#   SKIP_BENCH=1    skip steps 9-13
-#   SOAK=1          run step 14 (also enabled by a -soak argument)
-#   BENCHTIME=...   per-benchmark budget for steps 11-13 (default 200ms)
-#   TESTTIMEOUT=... watchdog for steps 4-6, 9-10 and 14 (default 10m)
+#   SKIP_BENCH=1    skip steps 9-14
+#   SOAK=1          run step 15 (also enabled by a -soak argument)
+#   BENCHTIME=...   per-benchmark budget for steps 11-14 (default 200ms)
+#   TESTTIMEOUT=... watchdog for steps 4-6, 9-10 and 15 (default 10m)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -74,7 +81,7 @@ go test -timeout "${TESTTIMEOUT:-10m}" ./...
 
 echo "== go test -race (kernel + fault-injection + serving packages, watchdog timeout)"
 go test -race -timeout "${TESTTIMEOUT:-10m}" \
-    ./internal/mat ./internal/sparse ./internal/sketch ./internal/serve ./internal/fleet \
+    ./internal/mat ./internal/sparse ./internal/sketch ./internal/cur ./internal/serve ./internal/fleet \
     ./internal/dist/... ./internal/randqb/... ./internal/randubv/... ./internal/lucrtp/...
 
 echo "== seed-drift gate (default-Gaussian bit-identity vs golden hashes)"
@@ -275,6 +282,64 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
         }
     ' > BENCH_sketch.json
     echo "wrote BENCH_sketch.json"
+
+    echo "== skeleton-method gate (CUR/ID2/ACA fixed-precision accuracy + cost vs RandQB_EI)"
+    go test -run '^TestTableIFixedPrecision$' -count=1 -timeout "${TESTTIMEOUT:-10m}" ./internal/cur
+    out=$(go test -run '^$' -bench '^BenchmarkCUR' -benchtime "${BENCHTIME:-200ms}" ./internal/cur | grep -E '^Benchmark')
+    echo "$out"
+    echo "$out" | awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
+        BEGIN { print "{"; first = 1 }
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            sub(/^Benchmark/, "", name)
+            if (!first) printf ",\n"
+            first = 0
+            printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s, \"factor_bytes\": %s}", name, $2, $3, $5
+            ns[name] = $3; fb[name] = $5
+        }
+        END {
+            printf ",\n  \"_ratios\": {"
+            sep = ""
+            if (fb["CURBaselineQB"] > 0) {
+                printf "\"cur_factor_bytes_over_qb\": %.4f", fb["CURFactorCUR"] / fb["CURBaselineQB"]; sep = ", "
+            }
+            if (ns["CURBaselineQB"] > 0) {
+                printf "%s\"cur_wall_over_qb\": %.3f, \"aca_wall_over_qb\": %.3f", sep,
+                    ns["CURFactorCUR"] / ns["CURBaselineQB"], ns["CURFactorACA"] / ns["CURBaselineQB"]
+            }
+            printf "}\n}\n"
+            # Gate A (deterministic, always on): the skeleton factor
+            # footprint must stay >= 4x below the dense QB frame at the
+            # same target — the family exists for this property.
+            if (fb["CURFactorCUR"] == "" || fb["CURBaselineQB"] == "") {
+                print "missing CUR factor-bytes benchmarks" > "/dev/stderr"; exit 1
+            }
+            if (fb["CURFactorCUR"] * 4 > fb["CURBaselineQB"]) {
+                printf "CUR factor bytes (%s) not >=4x below QB frame (%s)\n", fb["CURFactorCUR"], fb["CURBaselineQB"] > "/dev/stderr"
+                exit 1
+            }
+            # Wall-clock ratio gates need real cores; single-run timing on
+            # tiny containers is noise.
+            if (ncpu + 0 < 4) {
+                printf "note: CUR wall-clock gates skipped (%d CPUs < 4)\n", ncpu > "/dev/stderr"
+                exit 0
+            }
+            # Gate B: CUR must stay within 6x of the RandQB_EI wall clock
+            # at the same tolerance (it trades time for footprint, not
+            # unboundedly).
+            if (ns["CURFactorCUR"] > 6 * ns["CURBaselineQB"]) {
+                printf "CUR wall (%s ns/op) exceeds 6x RandQB_EI (%s ns/op)\n", ns["CURFactorCUR"], ns["CURBaselineQB"] > "/dev/stderr"
+                exit 1
+            }
+            # Gate C: ACA, the most serial of the three, within 20x.
+            if (ns["CURFactorACA"] > 20 * ns["CURBaselineQB"]) {
+                printf "ACA wall (%s ns/op) exceeds 20x RandQB_EI (%s ns/op)\n", ns["CURFactorACA"], ns["CURBaselineQB"] > "/dev/stderr"
+                exit 1
+            }
+        }
+    ' > BENCH_cur.json
+    echo "wrote BENCH_cur.json"
 fi
 
 if [[ "${SOAK:-0}" == "1" ]]; then
